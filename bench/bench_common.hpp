@@ -1,0 +1,100 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Every bench runs the full end-to-end path (simulate -> render raw text ->
+// parse -> analyze), prints the paper's reported numbers next to the
+// measured ones, and emits a shape verdict per claim:
+//   PASS  measured inside the paper's reported range,
+//   NEAR  within 25% (relative) of the nearest bound,
+//   FAIL  otherwise.
+// Exit code is 0 unless a claim FAILs, so `ctest`-style loops catch
+// regressions in the reproduction itself.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/root_cause.hpp"
+#include "faultsim/simulator.hpp"
+#include "loggen/corpus.hpp"
+#include "parsers/corpus_parser.hpp"
+#include "util/table.hpp"
+
+namespace hpcfail::bench {
+
+struct Pipeline {
+  faultsim::SimulationResult sim;
+  loggen::Corpus corpus;
+  parsers::ParsedCorpus parsed;
+  std::vector<core::AnalyzedFailure> failures;
+};
+
+/// Runs the canonical path on a scenario.
+inline Pipeline run_pipeline(faultsim::ScenarioConfig scenario) {
+  Pipeline p{faultsim::Simulator(std::move(scenario)).run(), {}, {}, {}};
+  p.corpus = loggen::build_corpus(p.sim);
+  p.parsed = parsers::parse_corpus(p.corpus);
+  p.failures = core::analyze_failures(p.parsed.store, &p.parsed.jobs);
+  return p;
+}
+
+inline Pipeline run_system(platform::SystemName system, int days, std::uint64_t seed) {
+  return run_pipeline(faultsim::scenario_preset(system, days, seed));
+}
+
+/// Collects claim verdicts and renders the final summary.
+class ShapeCheck {
+ public:
+  explicit ShapeCheck(std::string experiment) : experiment_(std::move(experiment)) {
+    std::cout << "==== " << experiment_ << " ====\n";
+  }
+
+  ~ShapeCheck() {
+    std::cout << "---- " << experiment_ << ": " << passed_ << " PASS, " << near_
+              << " NEAR, " << failed_ << " FAIL ----\n";
+  }
+
+  /// Claims measured lies in the paper's [lo, hi] (inclusive).
+  void in_range(const std::string& claim, double measured, double lo, double hi) {
+    const char* verdict;
+    if (measured >= lo && measured <= hi) {
+      verdict = "PASS";
+      ++passed_;
+    } else {
+      const double bound = measured < lo ? lo : hi;
+      const double rel =
+          bound != 0.0 ? std::abs(measured - bound) / std::abs(bound) : std::abs(measured);
+      if (rel <= 0.25) {
+        verdict = "NEAR";
+        ++near_;
+      } else {
+        verdict = "FAIL";
+        ++failed_;
+      }
+    }
+    std::printf("  [%s] %-58s measured %10.3f   paper [%g, %g]\n", verdict, claim.c_str(),
+                measured, lo, hi);
+  }
+
+  /// Claims a >= b (ordering claims: "who wins").
+  void greater(const std::string& claim, double a, double b) {
+    const bool ok = a >= b;
+    if (ok) {
+      ++passed_;
+    } else {
+      ++failed_;
+    }
+    std::printf("  [%s] %-58s %.3f vs %.3f\n", ok ? "PASS" : "FAIL", claim.c_str(), a, b);
+  }
+
+  [[nodiscard]] int exit_code() const noexcept { return failed_ == 0 ? 0 : 1; }
+  [[nodiscard]] int failures() const noexcept { return failed_; }
+
+ private:
+  std::string experiment_;
+  int passed_ = 0;
+  int near_ = 0;
+  int failed_ = 0;
+};
+
+}  // namespace hpcfail::bench

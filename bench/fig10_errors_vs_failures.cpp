@@ -1,0 +1,47 @@
+// Fig 10: over 16 consecutive days, the number of nodes experiencing
+// hardware errors, MCE log triggers and Lustre I/O errors far exceeds the
+// number of failed nodes; page-fault locks (I/O) outnumber hardware errors;
+// most erroring nodes never fail (Observation 4).
+#include "bench_common.hpp"
+#include "core/benign_faults.hpp"
+#include "stats/summary.hpp"
+
+int main() {
+  using namespace hpcfail;
+  bench::ShapeCheck check("Fig 10: erroring nodes vs failed nodes (S1, 16 days)");
+
+  const auto p = bench::run_system(platform::SystemName::S1, 16, 1010);
+  const core::BenignFaultAnalyzer benign(p.parsed.store);
+  const auto days = benign.daily_error_nodes(p.sim.config.begin, 16, p.failures);
+
+  util::TextTable table({"Day", "HW-error nodes", "MCE nodes", "Lustre nodes", "failed"});
+  stats::StreamingStats hw, mce, lustre, failed;
+  for (const auto& d : days) {
+    table.row()
+        .cell(static_cast<std::int64_t>(d.day - days.front().day + 1))
+        .cell(static_cast<std::int64_t>(d.hw_error_nodes))
+        .cell(static_cast<std::int64_t>(d.mce_nodes))
+        .cell(static_cast<std::int64_t>(d.lustre_nodes))
+        .cell(static_cast<std::int64_t>(d.failed_nodes));
+    hw.add(static_cast<double>(d.hw_error_nodes));
+    mce.add(static_cast<double>(d.mce_nodes));
+    lustre.add(static_cast<double>(d.lustre_nodes));
+    failed.add(static_cast<double>(d.failed_nodes));
+  }
+  std::cout << table.render() << '\n';
+
+  check.greater("HW-error nodes/day exceed failed nodes/day", hw.mean(), failed.mean());
+  check.greater("MCE nodes/day exceed failed nodes/day", mce.mean(), failed.mean());
+  check.greater("Lustre-error nodes/day exceed failed nodes/day", lustre.mean(),
+                failed.mean());
+  check.greater("I/O (Lustre) problems outnumber hardware errors", lustre.mean(), hw.mean());
+  check.in_range("failed nodes per day (paper <6 in that window)", failed.mean(), 0, 12);
+
+  // Most erroring nodes never fail in due course.
+  const double fail_frac = benign.erroring_node_failure_fraction(
+      logmodel::EventType::HardwareError, p.sim.config.begin, p.sim.config.end(),
+      util::Duration::hours(24), p.failures);
+  check.in_range("fraction of HW-erroring nodes that fail within a day", fail_frac, 0.0,
+                 0.40);
+  return check.exit_code();
+}

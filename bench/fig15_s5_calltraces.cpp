@@ -1,0 +1,85 @@
+// Fig 15: call-trace / symptom breakdown on the institutional cluster S5
+// (1 month).  Paper: 80.57% of symptomatic nodes hit hung-task timeouts
+// (slow I/O, not failing); 10.59% ran low on memory triggering the
+// oom-killer; 5.04% saw Lustre errors without call traces; 2.16% software
+// errors (page allocation / segfaults); 1.43% hardware (GPU/disk) errors.
+// Hung-task kernel oops are S5-only and do not fail nodes.
+#include <set>
+
+#include "bench_common.hpp"
+#include "core/job_analysis.hpp"
+
+int main() {
+  using namespace hpcfail;
+  bench::ShapeCheck check("Fig 15: S5 symptom breakdown (1 month)");
+
+  const auto p = bench::run_system(platform::SystemName::S5, 30, 1515);
+
+  // Node-day episodes per symptom category.
+  std::set<std::pair<std::uint32_t, std::int64_t>> hung, oom, lustre, sw, hw;
+  for (const auto& r : p.parsed.store.records()) {
+    if (!r.has_node()) continue;
+    const std::pair<std::uint32_t, std::int64_t> key{r.node.value, r.time.day_index()};
+    switch (r.type) {
+      case logmodel::EventType::HungTaskTimeout: hung.insert(key); break;
+      case logmodel::EventType::OomKill: oom.insert(key); break;
+      case logmodel::EventType::LustreError:
+      case logmodel::EventType::LustreBug: lustre.insert(key); break;
+      case logmodel::EventType::SegFault:
+      case logmodel::EventType::PageAllocationFailure: sw.insert(key); break;
+      case logmodel::EventType::HardwareError:
+      case logmodel::EventType::MachineCheckException: hw.insert(key); break;
+      default: break;
+    }
+  }
+  // OOM implies page-allocation noise; count each episode once, preferring
+  // the more specific category (oom over sw, hung over sw).
+  for (const auto& key : oom) sw.erase(key);
+  for (const auto& key : hung) sw.erase(key);
+
+  const double total = static_cast<double>(hung.size() + oom.size() + lustre.size() +
+                                           sw.size() + hw.size());
+  util::TextTable table({"Symptom", "node-days", "share", "paper"});
+  auto row = [&](const char* name, std::size_t n, const char* paper) {
+    table.row().cell(name).cell(static_cast<std::int64_t>(n)).pct(
+        total > 0 ? static_cast<double>(n) / total : 0.0).cell(paper);
+  };
+  row("hung-task timeout (slow I/O)", hung.size(), "80.57%");
+  row("oom-killer (low memory)", oom.size(), "10.59%");
+  row("Lustre errors", lustre.size(), "5.04%");
+  row("software errors", sw.size(), "2.16%");
+  row("hardware errors", hw.size(), "1.43%");
+  std::cout << table.render() << '\n';
+
+  check.in_range("hung-task share (paper 80.57%)", hung.size() / total, 0.70, 0.90);
+  check.in_range("oom share (paper 10.59%)", oom.size() / total, 0.05, 0.18);
+  check.in_range("Lustre share (paper 5.04%)", lustre.size() / total, 0.02, 0.10);
+  check.in_range("software share (paper 2.16%)", sw.size() / total, 0.005, 0.06);
+  check.in_range("hardware share (paper 1.43%)", hw.size() / total, 0.003, 0.05);
+
+  // Hung tasks do not fail nodes: no failure within an hour of a hung-task
+  // record on the same node.
+  std::size_t hung_failures = 0;
+  for (const auto& f : p.failures) {
+    if (hung.contains({f.event.node.value, f.event.time.day_index()}) &&
+        f.inference.cause == logmodel::RootCause::Unknown) {
+      ++hung_failures;
+    }
+  }
+  check.in_range("hung-task-only failures (paper: none)",
+                 static_cast<double>(hung_failures), 0, 2);
+
+  // ~11% of jobs fail to complete (affected by node state / interactive
+  // cancellations).
+  const core::JobAnalyzer jobs(p.parsed.jobs, p.failures);
+  const auto days = jobs.daily_outcomes(p.sim.config.begin, 30);
+  std::size_t total_jobs = 0, unsuccessful = 0;
+  for (const auto& d : days) {
+    total_jobs += d.jobs;
+    unsuccessful += d.jobs - d.success;
+  }
+  check.in_range("jobs failing to complete (paper ~11%)",
+                 total_jobs ? static_cast<double>(unsuccessful) / total_jobs : 0.0, 0.04,
+                 0.20);
+  return check.exit_code();
+}

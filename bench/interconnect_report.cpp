@@ -1,0 +1,50 @@
+// Interconnect health report: HSN lane degrades, failover outcomes and
+// their (weak) correlation with node failures — the interconnect dimension
+// of Table VII and the Aries link errors of the Table V case studies.
+// Failed failovers surface interconnect errors on nodes without usually
+// failing them, mirroring how the paper's environmental signals behave.
+#include "bench_common.hpp"
+#include "core/benign_faults.hpp"
+
+int main() {
+  using namespace hpcfail;
+  bench::ShapeCheck check("Interconnect: lane degrades & failovers (S1, 30 days)");
+
+  const auto p = bench::run_system(platform::SystemName::S1, 30, 4004);
+  const core::BenignFaultAnalyzer benign(p.parsed.store);
+  const auto summary = benign.interconnect_summary(p.sim.config.begin, p.sim.config.end(),
+                                                   p.failures);
+
+  util::TextTable table({"metric", "value"});
+  table.row().cell("lane degrades").cell(static_cast<std::int64_t>(summary.lane_degrades));
+  table.row().cell("failovers ok").cell(static_cast<std::int64_t>(summary.failovers_ok));
+  table.row().cell("failovers failed").cell(
+      static_cast<std::int64_t>(summary.failovers_failed));
+  table.row().cell("degrades near a blade failure").cell(
+      static_cast<std::int64_t>(summary.degrades_near_failure));
+  table.row()
+      .cell("nodes with interconnect errors")
+      .cell(static_cast<std::int64_t>(
+          p.parsed.store.count_of_type(logmodel::EventType::InterconnectError)));
+  std::cout << table.render() << '\n';
+
+  check.in_range("lane degrades over 30 days", static_cast<double>(summary.lane_degrades),
+                 90, 300);
+  check.in_range("failover success rate (adaptive routing mostly works)",
+                 summary.failover_success_rate(), 0.80, 0.99);
+  // Weak correlation: most degrades are nowhere near a failure.
+  check.in_range("degrades near failures (weak correlation)",
+                 summary.lane_degrades
+                     ? static_cast<double>(summary.degrades_near_failure) /
+                           static_cast<double>(summary.lane_degrades)
+                     : 0.0,
+                 0.0, 0.25);
+  // Failed failovers produce interconnect errors on nodes, but those nodes
+  // do not fail because of them.
+  const double err_fail_fraction = benign.erroring_node_failure_fraction(
+      logmodel::EventType::InterconnectError, p.sim.config.begin, p.sim.config.end(),
+      util::Duration::hours(6), p.failures);
+  check.in_range("interconnect-erroring nodes that then fail", err_fail_fraction, 0.0,
+                 0.30);
+  return check.exit_code();
+}

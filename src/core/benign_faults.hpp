@@ -1,0 +1,86 @@
+// Analysis of faults that do NOT cause failures (Section III-C, Figs 8-10,
+// Observations 3-4): SEDC warning populations, per-hour warning frequency
+// profiles, and the daily benign-error node populations vs failed nodes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/root_cause.hpp"
+#include "logmodel/log_store.hpp"
+
+namespace hpcfail::core {
+
+/// Fig 8: per-window unique blade/cabinet counts with warnings and faults.
+struct SedcPopulation {
+  std::size_t blades_with_warnings = 0;    ///< unique blades, SEDC warnings
+  std::size_t blades_with_faults = 0;      ///< unique blades, health faults
+  std::size_t cabinets_with_faults = 0;    ///< unique cabinets, any fault
+  std::size_t warning_count = 0;
+  std::size_t fault_count = 0;
+};
+
+/// Fig 9: hourly warning counts for one blade over one day.
+struct BladeWarningProfile {
+  std::uint32_t blade = 0;
+  std::array<std::size_t, 24> hourly{};
+  std::size_t total = 0;
+};
+
+/// Fig 10: daily counts of nodes with errors of each class vs failed nodes.
+struct DailyErrorNodes {
+  std::int64_t day = 0;
+  std::size_t hw_error_nodes = 0;
+  std::size_t mce_nodes = 0;
+  std::size_t lustre_nodes = 0;
+  std::size_t failed_nodes = 0;
+};
+
+class BenignFaultAnalyzer {
+ public:
+  explicit BenignFaultAnalyzer(const logmodel::LogStore& store) : store_(store) {}
+
+  [[nodiscard]] SedcPopulation sedc_population(util::TimePoint begin,
+                                               util::TimePoint end) const;
+
+  /// Hourly profiles of the `top_k` most warned-at blades in [begin,
+  /// begin+1d) — the Fig 9 recurring-warning storms.
+  [[nodiscard]] std::vector<BladeWarningProfile> top_warning_blades(util::TimePoint day_begin,
+                                                                    std::size_t top_k) const;
+
+  /// Daily error-node populations vs failures over [begin, begin+days).
+  [[nodiscard]] std::vector<DailyErrorNodes> daily_error_nodes(
+      util::TimePoint begin, int days, const std::vector<AnalyzedFailure>& failures) const;
+
+  /// Of the nodes showing errors of `type` in [begin, end), the fraction
+  /// that fail within `horizon` after their first error — Observation 4's
+  /// "higher error counts need not degrade reliability".
+  [[nodiscard]] double erroring_node_failure_fraction(
+      logmodel::EventType type, util::TimePoint begin, util::TimePoint end,
+      util::Duration horizon, const std::vector<AnalyzedFailure>& failures) const;
+
+  /// HSN interconnect event summary: lane degrades, failover outcomes, and
+  /// how many degrades sit near a node failure on the same blade (another
+  /// weak environmental correlate, cf. the Table VII interconnect studies).
+  struct InterconnectSummary {
+    std::size_t lane_degrades = 0;
+    std::size_t failovers_ok = 0;
+    std::size_t failovers_failed = 0;
+    std::size_t degrades_near_failure = 0;
+    [[nodiscard]] double failover_success_rate() const noexcept {
+      const auto total = failovers_ok + failovers_failed;
+      return total ? static_cast<double>(failovers_ok) / static_cast<double>(total) : 0.0;
+    }
+  };
+  [[nodiscard]] InterconnectSummary interconnect_summary(
+      util::TimePoint begin, util::TimePoint end,
+      const std::vector<AnalyzedFailure>& failures,
+      util::Duration near_window = util::Duration::hours(1)) const;
+
+ private:
+  const logmodel::LogStore& store_;
+};
+
+}  // namespace hpcfail::core

@@ -1,0 +1,87 @@
+#include "core/clusters.hpp"
+
+#include <array>
+#include <set>
+
+namespace hpcfail::core {
+
+std::vector<FailureCluster> cluster_failures(const std::vector<AnalyzedFailure>& failures,
+                                             util::Duration max_gap) {
+  std::vector<FailureCluster> out;
+  std::size_t i = 0;
+  while (i < failures.size()) {
+    std::size_t j = i;
+    while (j + 1 < failures.size() &&
+           failures[j + 1].event.time - failures[j].event.time <= max_gap) {
+      ++j;
+    }
+
+    FailureCluster cluster;
+    cluster.first_index = i;
+    cluster.size = j - i + 1;
+    cluster.begin = failures[i].event.time;
+    cluster.end = failures[j].event.time;
+
+    std::set<std::uint32_t> nodes, blades, cabinets;
+    std::array<std::size_t, logmodel::kRootCauseCount> causes{};
+    std::set<std::int64_t> jobs;
+    bool any_unattributed = false;
+    for (std::size_t k = i; k <= j; ++k) {
+      const auto& f = failures[k];
+      nodes.insert(f.event.node.value);
+      if (f.event.blade.valid()) blades.insert(f.event.blade.value);
+      if (f.event.cabinet.valid()) cabinets.insert(f.event.cabinet.value);
+      ++causes[static_cast<std::size_t>(f.inference.cause)];
+      if (f.event.job_id == logmodel::kNoJob) {
+        any_unattributed = true;
+      } else {
+        jobs.insert(f.event.job_id);
+      }
+    }
+    cluster.distinct_nodes = nodes.size();
+    cluster.distinct_blades = blades.size();
+    cluster.distinct_cabinets = cabinets.size();
+    for (std::size_t c = 0; c < causes.size(); ++c) {
+      if (causes[c] > cluster.dominant_count) {
+        cluster.dominant_count = causes[c];
+        cluster.dominant = static_cast<logmodel::RootCause>(c);
+      }
+    }
+    if (!any_unattributed && jobs.size() == 1) cluster.shared_job = *jobs.begin();
+    out.push_back(cluster);
+    i = j + 1;
+  }
+  return out;
+}
+
+ClusterSummary summarize_clusters(const std::vector<FailureCluster>& clusters) {
+  ClusterSummary out;
+  out.clusters = clusters.size();
+  std::size_t same_cause = 0;
+  std::size_t shared_job = 0;
+  std::size_t shared_job_multi_blade = 0;
+  double total = 0.0;
+  for (const auto& c : clusters) {
+    total += static_cast<double>(c.size);
+    out.max_size = std::max(out.max_size, static_cast<double>(c.size));
+    if (c.size < 2) continue;
+    ++out.multi_failure_clusters;
+    same_cause += c.same_cause();
+    if (c.shared_job != -1) {
+      ++shared_job;
+      shared_job_multi_blade += c.distinct_blades > 1;
+    }
+  }
+  if (out.clusters > 0) out.mean_size = total / static_cast<double>(out.clusters);
+  if (out.multi_failure_clusters > 0) {
+    out.same_cause_fraction =
+        static_cast<double>(same_cause) / static_cast<double>(out.multi_failure_clusters);
+  }
+  if (shared_job > 0) {
+    out.shared_job_multi_blade_fraction =
+        static_cast<double>(shared_job_multi_blade) / static_cast<double>(shared_job);
+  }
+  return out;
+}
+
+}  // namespace hpcfail::core

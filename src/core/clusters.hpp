@@ -1,0 +1,51 @@
+// Spatio-temporal failure clustering: consecutive failures separated by at
+// most `max_gap` form one cluster.  Clusters operationalize Observations 1
+// and 8 — bursts share a root cause, and application-triggered bursts span
+// spatially distant blades under one job id.
+#pragma once
+
+#include <vector>
+
+#include "core/root_cause.hpp"
+
+namespace hpcfail::core {
+
+struct FailureCluster {
+  std::size_t first_index = 0;  ///< into the analyzed-failure list
+  std::size_t size = 0;
+  util::TimePoint begin;
+  util::TimePoint end;
+  std::size_t distinct_nodes = 0;
+  std::size_t distinct_blades = 0;
+  std::size_t distinct_cabinets = 0;
+  logmodel::RootCause dominant = logmodel::RootCause::Unknown;
+  std::size_t dominant_count = 0;
+  /// Job id shared by every job-attributed failure in the cluster, or -1.
+  std::int64_t shared_job = -1;
+
+  [[nodiscard]] bool same_cause() const noexcept { return dominant_count == size; }
+  [[nodiscard]] double dominant_share() const noexcept {
+    return size ? static_cast<double>(dominant_count) / static_cast<double>(size) : 0.0;
+  }
+  [[nodiscard]] util::Duration span() const noexcept { return end - begin; }
+};
+
+/// Clusters time-sorted failures by inter-failure gap.
+[[nodiscard]] std::vector<FailureCluster> cluster_failures(
+    const std::vector<AnalyzedFailure>& failures,
+    util::Duration max_gap = util::Duration::minutes(30));
+
+struct ClusterSummary {
+  std::size_t clusters = 0;
+  std::size_t multi_failure_clusters = 0;  ///< size >= 2
+  double mean_size = 0.0;
+  double max_size = 0.0;
+  /// Of multi-failure clusters: fraction whose failures all share the cause.
+  double same_cause_fraction = 0.0;
+  /// Of multi-failure clusters with a shared job: fraction spanning >1 blade.
+  double shared_job_multi_blade_fraction = 0.0;
+};
+
+[[nodiscard]] ClusterSummary summarize_clusters(const std::vector<FailureCluster>& clusters);
+
+}  // namespace hpcfail::core

@@ -1,0 +1,154 @@
+#include "core/leadtime.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+namespace hpcfail::core {
+
+using logmodel::EventType;
+using logmodel::LogRecord;
+
+bool LeadTimeAnalyzer::quiet_before(platform::BladeId blade, platform::NodeId node,
+                                    logmodel::EventType type,
+                                    util::TimePoint window_start) const {
+  for (const std::uint32_t idx : store_.blade_range(
+           blade, window_start - config_.quiet_window, window_start)) {
+    const LogRecord& r = store_[idx];
+    if (r.type != type) continue;
+    if (r.has_node() && r.node != node) continue;
+    return false;  // the indicator is ambient on this blade, not an anomaly
+  }
+  return true;
+}
+
+std::optional<util::TimePoint> LeadTimeAnalyzer::earliest_external(
+    const FailureEvent& event) const {
+  std::optional<util::TimePoint> earliest;
+  const util::TimePoint begin = event.time - config_.external_lookback;
+  for (const std::uint32_t idx :
+       store_.blade_range(event.blade, begin, event.time)) {
+    const LogRecord& r = store_[idx];
+    if (!logmodel::is_external_indicator(r.type)) continue;
+    // NHFs trail node death; they confirm but never lead, so they cannot
+    // open the window.
+    if (r.type == EventType::NodeHeartbeatFault) continue;
+    // Node-scoped indicators must be for this node.
+    if (r.has_node() && r.node != event.node) continue;
+    if (config_.require_quiet_baseline &&
+        !quiet_before(event.blade, event.node, r.type, begin)) {
+      continue;
+    }
+    if (!earliest || r.time < *earliest) earliest = r.time;
+  }
+  return earliest;
+}
+
+bool LeadTimeAnalyzer::external_indicator_near(platform::NodeId node,
+                                               platform::BladeId blade, util::TimePoint t,
+                                               util::Duration lookback) const {
+  for (const std::uint32_t idx : store_.blade_range(blade, t - lookback, t)) {
+    const LogRecord& r = store_[idx];
+    if (!logmodel::is_external_indicator(r.type)) continue;
+    if (r.type == EventType::NodeHeartbeatFault) continue;
+    if (r.has_node() && r.node != node) continue;
+    if (config_.require_quiet_baseline && !quiet_before(blade, node, r.type, t - lookback)) {
+      continue;  // ambient on this blade, not an anomaly
+    }
+    return true;
+  }
+  return false;
+}
+
+std::vector<FailureLeadTime> LeadTimeAnalyzer::lead_times(
+    const std::vector<AnalyzedFailure>& failures) const {
+  std::vector<FailureLeadTime> out;
+  out.reserve(failures.size());
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const auto& f = failures[i];
+    FailureLeadTime lt;
+    lt.failure_index = i;
+    lt.internal_lead = f.event.time - f.event.first_internal;
+    if (const auto external = earliest_external(f.event)) {
+      const util::Duration external_lead = f.event.time - *external;
+      if (external_lead - lt.internal_lead >= config_.min_gain) {
+        lt.external_lead = external_lead;
+      }
+    }
+    out.push_back(lt);
+  }
+  return out;
+}
+
+LeadTimeSummary LeadTimeAnalyzer::summarize(
+    const std::vector<AnalyzedFailure>& failures) const {
+  LeadTimeSummary out;
+  for (const auto& lt : lead_times(failures)) {
+    ++out.failures;
+    out.internal_minutes.add(lt.internal_lead.to_minutes());
+    if (lt.enhanceable()) {
+      ++out.enhanceable;
+      out.internal_minutes_enh.add(lt.internal_lead.to_minutes());
+      out.external_minutes.add(lt.external_lead->to_minutes());
+    }
+  }
+  return out;
+}
+
+PredictorEvaluation LeadTimeAnalyzer::evaluate_predictor(
+    const std::vector<AnalyzedFailure>& failures, bool require_external,
+    util::Duration horizon, util::Duration pattern_window) const {
+  // Failure times per node, for outcome checks.
+  std::unordered_map<std::uint32_t, std::vector<util::TimePoint>> failure_times;
+  for (const auto& f : failures) {
+    failure_times[f.event.node.value].push_back(f.event.time);
+  }
+
+  PredictorEvaluation out;
+  // Walk every node's records; flag when two indicative records of
+  // different types land within pattern_window (dedup per horizon).
+  for (const auto node : store_.nodes()) {
+    const auto idx = store_.node_index(node);
+    util::TimePoint last_flag;
+    bool flagged_before = false;
+    util::TimePoint prev_time;
+    logmodel::EventType prev_type = logmodel::EventType::NodeBoot;
+    bool prev_valid = false;
+    for (const std::uint32_t i : idx) {
+      const LogRecord& r = store_[i];
+      if (!logmodel::is_internal_indicator(r.type)) continue;
+      const bool pattern = prev_valid && r.type != prev_type &&
+                           r.time - prev_time <= pattern_window;
+      prev_valid = true;
+      prev_time = r.time;
+      prev_type = r.type;
+      if (!pattern) continue;
+      if (flagged_before && r.time - last_flag < horizon) continue;  // same episode
+      flagged_before = true;
+      last_flag = r.time;
+      if (require_external &&
+          !external_indicator_near(node, r.blade, r.time, config_.external_lookback)) {
+        continue;
+      }
+      ++out.flagged;
+      bool failed = false;
+      const auto ft = failure_times.find(node.value);
+      if (ft != failure_times.end()) {
+        for (const auto t : ft->second) {
+          if (t >= r.time && t - r.time <= horizon) {
+            failed = true;
+            break;
+          }
+        }
+      }
+      if (failed) {
+        ++out.true_positive;
+      } else {
+        ++out.false_positive;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcfail::core

@@ -1,0 +1,110 @@
+// Lead-time analysis (Section III-D, Figs 13-14, Observation 5).
+//
+// For every failure the internal lead time is (failure - first indicative
+// internal record).  When correlated external indicators exist earlier, the
+// enhanced lead time is (failure - earliest correlated external record).
+// The analyzer also evaluates a simple online predictor with and without
+// the external-correlation requirement to measure the false-positive-rate
+// reduction of Fig 14.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/root_cause.hpp"
+#include "logmodel/log_store.hpp"
+#include "stats/summary.hpp"
+
+namespace hpcfail::core {
+
+struct LeadTimeConfig {
+  /// How far before the failure external indicators are searched.
+  util::Duration external_lookback = util::Duration::hours(2);
+  /// The external indicator must precede the first internal indicator by at
+  /// least this much to count as an enhancement.
+  util::Duration min_gain = util::Duration::seconds(30);
+  /// Paper: "the early indicators were absent during normal operation".
+  /// An indicator only counts when its type was quiet on the blade over
+  /// the reference window preceding the search window; this rejects the
+  /// ambient warning storms of deviant blades.
+  bool require_quiet_baseline = true;
+  util::Duration quiet_window = util::Duration::hours(6);
+};
+
+struct FailureLeadTime {
+  std::size_t failure_index = 0;       ///< into the analyzed-failure list
+  util::Duration internal_lead{};      ///< >= 0
+  std::optional<util::Duration> external_lead;  ///< set when enhanceable
+  [[nodiscard]] bool enhanceable() const noexcept { return external_lead.has_value(); }
+};
+
+struct LeadTimeSummary {
+  std::size_t failures = 0;
+  std::size_t enhanceable = 0;
+  stats::StreamingStats internal_minutes;       ///< over all failures
+  stats::StreamingStats internal_minutes_enh;   ///< over enhanceable failures
+  stats::StreamingStats external_minutes;       ///< over enhanceable failures
+  [[nodiscard]] double enhanceable_fraction() const noexcept {
+    return failures ? static_cast<double>(enhanceable) / static_cast<double>(failures) : 0.0;
+  }
+  /// Mean enhancement factor over the enhanceable population.
+  [[nodiscard]] double enhancement_factor() const noexcept {
+    const double internal = internal_minutes_enh.mean();
+    return internal > 0.0 ? external_minutes.mean() / internal : 0.0;
+  }
+};
+
+struct PredictorEvaluation {
+  std::size_t flagged = 0;         ///< node-windows the predictor flagged
+  std::size_t true_positive = 0;   ///< ... followed by a failure
+  std::size_t false_positive = 0;
+  [[nodiscard]] double fp_rate() const noexcept {
+    return flagged ? static_cast<double>(false_positive) / static_cast<double>(flagged)
+                   : 0.0;
+  }
+};
+
+class LeadTimeAnalyzer {
+ public:
+  LeadTimeAnalyzer(const logmodel::LogStore& store, LeadTimeConfig config = {})
+      : store_(store), config_(config) {}
+
+  /// Per-failure lead times; indexes parallel `failures`.
+  [[nodiscard]] std::vector<FailureLeadTime> lead_times(
+      const std::vector<AnalyzedFailure>& failures) const;
+
+  [[nodiscard]] LeadTimeSummary summarize(
+      const std::vector<AnalyzedFailure>& failures) const;
+
+  /// Fig 14: evaluates the internal-pattern predictor. When
+  /// `require_external` is set a node is only flagged when a correlated
+  /// external indicator accompanies the internal pattern.
+  ///
+  /// Predictor: a node is flagged when two fault-indicative internal
+  /// records of DIFFERENT types land within `pattern_window` — the
+  /// sequence-of-fault-indicative-messages pattern of Section III-D.
+  /// A flag is a true positive iff the node fails within `horizon`;
+  /// flags on one node are deduplicated per horizon.
+  [[nodiscard]] PredictorEvaluation evaluate_predictor(
+      const std::vector<AnalyzedFailure>& failures, bool require_external,
+      util::Duration horizon = util::Duration::hours(1),
+      util::Duration pattern_window = util::Duration::minutes(10)) const;
+
+ private:
+  /// Earliest correlated external indicator before the failure, if any.
+  [[nodiscard]] std::optional<util::TimePoint> earliest_external(
+      const FailureEvent& event) const;
+  [[nodiscard]] bool external_indicator_near(platform::NodeId node,
+                                             platform::BladeId blade, util::TimePoint t,
+                                             util::Duration lookback) const;
+  /// True when `type` did not occur on the blade during the quiet window
+  /// preceding `window_start`.
+  [[nodiscard]] bool quiet_before(platform::BladeId blade, platform::NodeId node,
+                                  logmodel::EventType type,
+                                  util::TimePoint window_start) const;
+
+  const logmodel::LogStore& store_;
+  LeadTimeConfig config_;
+};
+
+}  // namespace hpcfail::core

@@ -1,0 +1,145 @@
+#include "core/online_monitor.hpp"
+
+#include <limits>
+
+namespace hpcfail::core {
+
+using logmodel::EventType;
+using logmodel::LogRecord;
+
+std::string_view to_string(AlertKind k) noexcept {
+  switch (k) {
+    case AlertKind::PatternWarning: return "PatternWarning";
+    case AlertKind::ExternalEarlyWarning: return "ExternalEarlyWarning";
+    case AlertKind::FailureConfirmed: return "FailureConfirmed";
+    case AlertKind::NodeRecovered: return "NodeRecovered";
+  }
+  return "?";
+}
+
+Evidence OnlineMonitor::evidence_for(const NodeView& node, platform::BladeId blade,
+                                     util::TimePoint now) const {
+  Evidence ev;
+  for (const auto& e : node.recent) {
+    switch (e.type) {
+      case EventType::MachineCheckException: ev.mce = true; break;
+      case EventType::HardwareError: ev.hw_error = true; break;
+      case EventType::CpuCorruption: ev.cpu_corruption = true; break;
+      case EventType::OomKill: ev.oom = true; break;
+      case EventType::PageAllocationFailure: ev.page_alloc_failure = true; break;
+      case EventType::LustreError: ev.lustre_error = true; break;
+      case EventType::LustreBug: ev.lustre_bug = true; break;
+      case EventType::DvsError: ev.dvs_error = true; break;
+      case EventType::KernelOops: ev.kernel_oops = true; break;
+      case EventType::InvalidOpcode: ev.invalid_opcode = true; break;
+      case EventType::CpuStall: ev.cpu_stall = true; break;
+      case EventType::SegFault: ev.seg_fault = true; break;
+      case EventType::NhcTestFail: ev.nhc_test_fail = true; break;
+      case EventType::AppExitAbnormal: ev.app_exit_abnormal = true; break;
+      case EventType::BiosError: ev.bios_error = true; break;
+      case EventType::L0SysdMce: ev.l0_sysd_mce = true; break;
+      case EventType::CallTrace: ev.stack_modules.push_back(e.detail); break;
+      default: break;
+    }
+  }
+  if (blade.valid()) {
+    const auto it = blade_external_.find(blade.value);
+    if (it != blade_external_.end()) {
+      for (const auto& e : it->second) {
+        if (now - e.time > config_.external_memory) continue;
+        switch (e.type) {
+          case EventType::EcHwError: ev.ec_hw_errors = true; break;
+          case EventType::LinkError: ev.link_errors = true; break;
+          case EventType::NodeVoltageFault: ev.node_voltage_fault = true; break;
+          case EventType::SedcVoltageWarning: ev.sedc_voltage = true; break;
+          default: break;
+        }
+      }
+    }
+  }
+  return ev;
+}
+
+std::vector<Alert> OnlineMonitor::ingest(const LogRecord& record) {
+  std::vector<Alert> alerts;
+
+  // Remember blade-scoped external indicators.
+  if (logmodel::is_external_indicator(record.type) &&
+      record.type != EventType::NodeHeartbeatFault && record.has_blade()) {
+    auto& mem = blade_external_[record.blade.value];
+    mem.push_back({record.time, record.type, {}});
+    while (!mem.empty() && record.time - mem.front().time > config_.external_memory) {
+      mem.pop_front();
+    }
+  }
+
+  if (!record.has_node()) return alerts;
+  NodeView& node = nodes_[record.node.value];
+
+  // Failure markers confirm; diagnosis from accumulated evidence.
+  if (logmodel::is_failure_marker(record.type)) {
+    if (!node.down) {
+      node.down = true;
+      const RootCauseEngine engine;
+      const Inference inference =
+          engine.infer(evidence_for(node, record.blade, record.time), record.type);
+      alerts.push_back({AlertKind::FailureConfirmed, record.time, record.node,
+                        inference.cause,
+                        "failure confirmed: " + inference.rationale});
+    }
+    return alerts;
+  }
+  if (record.type == EventType::NodeBoot) {
+    if (node.down) {
+      node.down = false;
+      node.recent.clear();
+      alerts.push_back({AlertKind::NodeRecovered, record.time, record.node,
+                        logmodel::RootCause::Unknown, "node rebooted and returned"});
+    }
+    return alerts;
+  }
+  if (!logmodel::is_internal_indicator(record.type) &&
+      record.type != EventType::CallTrace) {
+    return alerts;
+  }
+
+  // Pattern detection over the remembered internal events.
+  bool pattern = false;
+  for (const auto& e : node.recent) {
+    if (e.type != record.type && record.time - e.time <= config_.pattern_window &&
+        e.type != EventType::CallTrace && record.type != EventType::CallTrace) {
+      pattern = true;
+      break;
+    }
+  }
+  node.recent.push_back({record.time, record.type, record.detail});
+  while (!node.recent.empty() &&
+         record.time - node.recent.front().time > config_.evidence_memory) {
+    node.recent.pop_front();
+  }
+
+  if (pattern && record.time - node.last_warning >= config_.warning_cooldown) {
+    node.last_warning = record.time;
+    const Evidence ev = evidence_for(node, record.blade, record.time);
+    const bool external = ev.ec_hw_errors || ev.node_voltage_fault || ev.link_errors ||
+                          ev.sedc_voltage;
+    const RootCauseEngine engine;
+    const Inference inference = engine.infer(ev, EventType::NodeShutdown);
+    alerts.push_back({external ? AlertKind::ExternalEarlyWarning
+                               : AlertKind::PatternWarning,
+                      record.time, record.node, inference.cause,
+                      external ? "indicative pattern with external corroboration"
+                               : "indicative internal pattern"});
+  }
+  return alerts;
+}
+
+std::vector<Alert> OnlineMonitor::ingest_all(const logmodel::LogStore& store) {
+  std::vector<Alert> all;
+  for (const auto& r : store.records()) {
+    for (auto& alert : ingest(r)) all.push_back(std::move(alert));
+  }
+  return all;
+}
+
+}  // namespace hpcfail::core

@@ -1,0 +1,82 @@
+// Online (streaming) failure monitor: ingest records in time order and emit
+// alerts as the evidence accumulates — the deployable face of the offline
+// pipeline.  It implements the paper's recommended health-checker upgrades:
+// flag indicative internal patterns, upgrade the warning when correlated
+// external indicators exist (lead-time enhancement, Observation 5), confirm
+// failures with a root-cause hypothesis, and report recoveries.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/root_cause.hpp"
+#include "logmodel/record.hpp"
+
+namespace hpcfail::core {
+
+enum class AlertKind : std::uint8_t {
+  PatternWarning,       ///< >=2 indicative internal types within the window
+  ExternalEarlyWarning, ///< the pattern is backed by external indicators
+  FailureConfirmed,     ///< failure marker observed; diagnosis attached
+  NodeRecovered,        ///< NodeBoot after a confirmed failure
+};
+
+[[nodiscard]] std::string_view to_string(AlertKind k) noexcept;
+
+struct Alert {
+  AlertKind kind = AlertKind::PatternWarning;
+  util::TimePoint time;
+  platform::NodeId node;
+  logmodel::RootCause suspected = logmodel::RootCause::Unknown;
+  std::string message;
+};
+
+struct MonitorConfig {
+  /// Two indicative internal records of different types within this window
+  /// form a warning pattern.
+  util::Duration pattern_window = util::Duration::minutes(10);
+  /// How long node-internal evidence is remembered.
+  util::Duration evidence_memory = util::Duration::minutes(30);
+  /// How long blade-external indicators are remembered.
+  util::Duration external_memory = util::Duration::hours(1);
+  /// Minimum spacing between warnings for the same node.
+  util::Duration warning_cooldown = util::Duration::hours(1);
+};
+
+class OnlineMonitor {
+ public:
+  explicit OnlineMonitor(MonitorConfig config = {}) : config_(config) {}
+
+  /// Feeds one record (records must arrive in non-decreasing time order)
+  /// and returns any alerts it triggers.
+  [[nodiscard]] std::vector<Alert> ingest(const logmodel::LogRecord& record);
+
+  /// Convenience: feed a whole time-sorted store.
+  [[nodiscard]] std::vector<Alert> ingest_all(const logmodel::LogStore& store);
+
+  [[nodiscard]] std::size_t nodes_tracked() const noexcept { return nodes_.size(); }
+
+ private:
+  struct RememberedEvent {
+    util::TimePoint time;
+    logmodel::EventType type;
+    std::string detail;
+  };
+  struct NodeView {
+    std::deque<RememberedEvent> recent;  ///< indicative internal records
+    util::TimePoint last_warning{std::numeric_limits<std::int64_t>::min() / 2};
+    bool down = false;
+  };
+
+  [[nodiscard]] Evidence evidence_for(const NodeView& node, platform::BladeId blade,
+                                      util::TimePoint now) const;
+
+  MonitorConfig config_;
+  std::unordered_map<std::uint32_t, NodeView> nodes_;
+  /// blade id -> recent external indicator times/types.
+  std::unordered_map<std::uint32_t, std::deque<RememberedEvent>> blade_external_;
+};
+
+}  // namespace hpcfail::core

@@ -1,0 +1,80 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/table.hpp"
+
+namespace hpcfail::core {
+
+using logmodel::CauseLayer;
+using logmodel::RootCause;
+
+CauseBreakdown cause_breakdown(const std::vector<AnalyzedFailure>& failures) {
+  CauseBreakdown out;
+  for (const auto& f : failures) {
+    ++out.counts[static_cast<std::size_t>(f.inference.cause)];
+    ++out.total;
+  }
+  return out;
+}
+
+LayerShares layer_shares(const std::vector<AnalyzedFailure>& failures) {
+  LayerShares out;
+  if (failures.empty()) return out;
+  std::size_t hw = 0, sw = 0, app = 0, unknown = 0, mem = 0, app_trig = 0;
+  for (const auto& f : failures) {
+    switch (logmodel::layer_of(f.inference.cause)) {
+      case CauseLayer::Hardware: ++hw; break;
+      case CauseLayer::Software: ++sw; break;
+      case CauseLayer::Application: ++app; break;
+      case CauseLayer::Unknown: ++unknown; break;
+    }
+    if (f.inference.cause == RootCause::MemoryExhaustion) ++mem;
+    if (f.inference.application_triggered) ++app_trig;
+  }
+  const auto n = static_cast<double>(failures.size());
+  out.hardware = static_cast<double>(hw) / n;
+  out.software = static_cast<double>(sw) / n;
+  out.application = static_cast<double>(app) / n;
+  out.unknown = static_cast<double>(unknown) / n;
+  out.memory_exhaustion = static_cast<double>(mem) / n;
+  out.application_triggered = static_cast<double>(app_trig) / n;
+  return out;
+}
+
+std::vector<ModuleUsage> stack_module_usage(const std::vector<AnalyzedFailure>& failures) {
+  std::map<RootCause, std::map<std::string, std::size_t>> usage;
+  for (const auto& f : failures) {
+    if (f.inference.evidence.stack_modules.empty()) continue;
+    // The lead module of the first call trace is the Table IV signal.
+    ++usage[f.inference.cause][f.inference.evidence.stack_modules.front()];
+  }
+  std::vector<ModuleUsage> out;
+  for (auto& [cause, modules] : usage) {
+    ModuleUsage row;
+    row.cause = cause;
+    for (auto& [module, count] : modules) row.modules.emplace_back(module, count);
+    std::sort(row.modules.begin(), row.modules.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::string render_cause_table(const CauseBreakdown& breakdown, std::string_view title) {
+  util::TextTable table({"Root cause", "Failures", "Share"});
+  table.set_title(std::string(title));
+  for (std::size_t i = 0; i < breakdown.counts.size(); ++i) {
+    if (breakdown.counts[i] == 0) continue;
+    const auto cause = static_cast<RootCause>(i);
+    table.row()
+        .cell(to_string(cause))
+        .cell(static_cast<std::int64_t>(breakdown.counts[i]))
+        .pct(breakdown.share(cause));
+  }
+  table.row().cell("total").cell(static_cast<std::int64_t>(breakdown.total)).cell("");
+  return table.render();
+}
+
+}  // namespace hpcfail::core

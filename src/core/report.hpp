@@ -1,0 +1,55 @@
+// Aggregate reporting helpers: root-cause breakdowns (Fig 16), layer shares
+// (Section III-F's S3 hardware/software/application split) and rendering of
+// the findings tables the benches print.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/root_cause.hpp"
+
+namespace hpcfail::core {
+
+struct CauseBreakdown {
+  std::array<std::size_t, logmodel::kRootCauseCount> counts{};
+  std::size_t total = 0;
+
+  [[nodiscard]] std::size_t count(logmodel::RootCause c) const noexcept {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] double share(logmodel::RootCause c) const noexcept {
+    return total ? static_cast<double>(count(c)) / static_cast<double>(total) : 0.0;
+  }
+};
+
+[[nodiscard]] CauseBreakdown cause_breakdown(const std::vector<AnalyzedFailure>& failures);
+
+struct LayerShares {
+  double hardware = 0.0;
+  double software = 0.0;
+  double application = 0.0;
+  double unknown = 0.0;
+  /// Fraction of all failures involving memory exhaustion (quoted
+  /// separately in the paper: 27% for S3).
+  double memory_exhaustion = 0.0;
+  /// Fraction with an application-triggered origin (Observation 7).
+  double application_triggered = 0.0;
+};
+
+[[nodiscard]] LayerShares layer_shares(const std::vector<AnalyzedFailure>& failures);
+
+/// Cause -> observed stack modules, the measured Table IV.
+struct ModuleUsage {
+  logmodel::RootCause cause = logmodel::RootCause::Unknown;
+  std::vector<std::pair<std::string, std::size_t>> modules;  ///< module -> count
+};
+
+[[nodiscard]] std::vector<ModuleUsage> stack_module_usage(
+    const std::vector<AnalyzedFailure>& failures);
+
+/// Aligned text rendering of a cause breakdown.
+[[nodiscard]] std::string render_cause_table(const CauseBreakdown& breakdown,
+                                             std::string_view title);
+
+}  // namespace hpcfail::core

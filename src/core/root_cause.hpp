@@ -1,0 +1,101 @@
+// Rule-based root-cause inference over a failure's internal chain, external
+// environment window and job context — the paper's "holistic" diagnosis
+// (Sections III-E/F, Table IV, Table V).
+//
+// The engine collects evidence flags from three universes and applies an
+// ordered rule list.  Rules are ordered most-specific-first so that, e.g.,
+// an OOM chain whose stack trace mentions lustre modules is still classified
+// MemoryExhaustion (the fault ORIGIN, per Observation 7), not LustreBug.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/failure_detector.hpp"
+#include "logmodel/cause.hpp"
+#include "logmodel/log_store.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpcfail::core {
+
+struct Evidence {
+  // internal
+  bool mce = false;
+  bool hw_error = false;
+  bool cpu_corruption = false;
+  bool oom = false;
+  bool page_alloc_failure = false;
+  bool lustre_error = false;
+  bool lustre_bug = false;
+  bool dvs_error = false;
+  bool kernel_oops = false;
+  bool invalid_opcode = false;
+  bool cpu_stall = false;
+  bool seg_fault = false;
+  bool nhc_test_fail = false;
+  bool app_exit_abnormal = false;
+  bool bios_error = false;
+  bool l0_sysd_mce = false;
+  std::vector<std::string> stack_modules;  ///< call-trace lead modules, in order
+  // external (within the external lookback window, same node or blade)
+  bool ec_hw_errors = false;
+  bool link_errors = false;
+  bool node_voltage_fault = false;
+  bool sedc_voltage = false;
+  // job
+  bool job_attributed = false;
+};
+
+struct Inference {
+  logmodel::RootCause cause = logmodel::RootCause::Unknown;
+  double confidence = 0.0;  ///< heuristic 0..1
+  bool application_triggered = false;
+  std::string rationale;    ///< human-readable one-liner
+  Evidence evidence;
+};
+
+struct RootCauseConfig {
+  /// External indicators are searched this far before the failure.
+  util::Duration external_lookback = util::Duration::minutes(60);
+  /// Internal evidence window before the failure (matches detector lookback).
+  util::Duration internal_lookback = util::Duration::minutes(30);
+};
+
+class RootCauseEngine {
+ public:
+  explicit RootCauseEngine(RootCauseConfig config = {}) : config_(config) {}
+
+  /// Collects evidence for one failure from the store (and optional jobs).
+  [[nodiscard]] Evidence collect_evidence(const logmodel::LogStore& store,
+                                          const FailureEvent& failure,
+                                          const jobs::JobTable* jobs) const;
+
+  /// Applies the rule list to evidence.
+  [[nodiscard]] Inference infer(const Evidence& evidence,
+                                logmodel::EventType marker) const;
+
+  /// Convenience: collect + infer.
+  [[nodiscard]] Inference diagnose(const logmodel::LogStore& store,
+                                   const FailureEvent& failure,
+                                   const jobs::JobTable* jobs) const;
+
+ private:
+  RootCauseConfig config_;
+};
+
+/// A failure with its diagnosis attached; what all figure analyses consume.
+struct AnalyzedFailure {
+  FailureEvent event;
+  Inference inference;
+};
+
+/// Runs detection + diagnosis over a store. Result sorted by time.
+/// When `pool` is non-null the per-failure diagnoses (which are
+/// independent) run as parallel shards on it; results are identical to the
+/// serial path.
+[[nodiscard]] std::vector<AnalyzedFailure> analyze_failures(
+    const logmodel::LogStore& store, const jobs::JobTable* jobs,
+    const DetectorConfig& detector_config = {}, const RootCauseConfig& engine_config = {},
+    util::ThreadPool* pool = nullptr);
+
+}  // namespace hpcfail::core

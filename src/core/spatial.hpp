@@ -1,0 +1,78 @@
+// Spatial failure structure: attribution of failures to "faulty" blades and
+// cabinets (Fig 7) and the same-reason fraction of whole-blade failures
+// (Fig 18, Observation 8).
+#pragma once
+
+#include <vector>
+
+#include "core/root_cause.hpp"
+#include "logmodel/log_store.hpp"
+#include "platform/topology.hpp"
+
+namespace hpcfail::core {
+
+struct SpatialConfig {
+  /// A blade/cabinet is "faulty" for a failure when it logged any health
+  /// fault or SEDC warning within +/- this window around the failure.
+  util::Duration fault_window = util::Duration::hours(6);
+};
+
+struct SpatialAttribution {
+  std::size_t failures = 0;
+  std::size_t on_faulty_blade = 0;
+  std::size_t on_faulty_cabinet = 0;
+  [[nodiscard]] double blade_fraction() const noexcept {
+    return failures ? static_cast<double>(on_faulty_blade) / static_cast<double>(failures)
+                    : 0.0;
+  }
+  [[nodiscard]] double cabinet_fraction() const noexcept {
+    return failures ? static_cast<double>(on_faulty_cabinet) / static_cast<double>(failures)
+                    : 0.0;
+  }
+};
+
+struct BladeFailureGroup {
+  platform::BladeId blade;
+  std::int64_t day = 0;
+  std::size_t failures = 0;
+  logmodel::RootCause dominant = logmodel::RootCause::Unknown;
+  bool same_reason = false;  ///< all failures in the group share the cause
+};
+
+class SpatialAnalyzer {
+ public:
+  SpatialAnalyzer(const logmodel::LogStore& store, const platform::Topology& topo,
+                  SpatialConfig config = {})
+      : store_(store), topo_(topo), config_(config) {}
+
+  /// Fig 7: how many failures sit on blades/cabinets that showed controller
+  /// faults or warnings around the failure time.
+  [[nodiscard]] SpatialAttribution attribute(
+      const std::vector<AnalyzedFailure>& failures, util::TimePoint begin,
+      util::TimePoint end) const;
+
+  /// Fig 18: per (blade, day) groups with >= min_failures failures, do the
+  /// failures share the same inferred root cause?
+  [[nodiscard]] std::vector<BladeFailureGroup> blade_groups(
+      const std::vector<AnalyzedFailure>& failures, std::size_t min_failures = 2) const;
+
+  /// Fraction of groups with same_reason (0 when no groups).
+  [[nodiscard]] static double same_reason_fraction(
+      const std::vector<BladeFailureGroup>& groups) noexcept;
+
+  /// Mean cabinet (Manhattan) distance between failures less than
+  /// `within` apart in time — the "spatially distant yet temporally close"
+  /// measurement backing Observation 8.
+  [[nodiscard]] double mean_cabinet_distance_of_close_failures(
+      const std::vector<AnalyzedFailure>& failures, util::Duration within) const;
+
+ private:
+  [[nodiscard]] bool blade_faulty_near(platform::BladeId blade, util::TimePoint t) const;
+  [[nodiscard]] bool cabinet_faulty_near(platform::CabinetId cabinet, util::TimePoint t) const;
+
+  const logmodel::LogStore& store_;
+  const platform::Topology& topo_;
+  SpatialConfig config_;
+};
+
+}  // namespace hpcfail::core

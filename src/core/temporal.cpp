@@ -1,0 +1,93 @@
+#include "core/temporal.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace hpcfail::core {
+
+std::vector<double> TemporalAnalyzer::inter_failure_minutes(util::TimePoint begin,
+                                                            util::TimePoint end) const {
+  std::vector<double> gaps;
+  const AnalyzedFailure* prev = nullptr;
+  for (const auto& f : failures_) {
+    if (f.event.time < begin || f.event.time >= end) continue;
+    if (prev != nullptr) {
+      gaps.push_back((f.event.time - prev->event.time).to_minutes());
+    }
+    prev = &f;
+  }
+  return gaps;
+}
+
+std::vector<WindowStats> TemporalAnalyzer::weekly_stats(util::TimePoint begin,
+                                                        int weeks) const {
+  return weekly_stats_filtered(begin, weeks, [](const AnalyzedFailure&) { return true; });
+}
+
+std::vector<WindowStats> TemporalAnalyzer::weekly_stats_filtered(
+    util::TimePoint begin, int weeks,
+    const std::function<bool(const AnalyzedFailure&)>& keep) const {
+  std::vector<WindowStats> out(static_cast<std::size_t>(std::max(0, weeks)));
+  std::vector<std::vector<double>> gaps(out.size());
+  std::vector<util::TimePoint> last(out.size());
+  std::vector<bool> has_last(out.size(), false);
+
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    out[w].first_day = (begin + util::Duration::days(static_cast<std::int64_t>(w) * 7))
+                           .day_index();
+  }
+  for (const auto& f : failures_) {
+    if (!keep(f)) continue;
+    const auto offset = f.event.time - begin;
+    if (offset.usec < 0) continue;
+    const auto week = offset.usec / util::Duration::days(7).usec;
+    if (week < 0 || week >= static_cast<std::int64_t>(out.size())) continue;
+    const auto w = static_cast<std::size_t>(week);
+    ++out[w].failures;
+    if (has_last[w]) {
+      const double gap = (f.event.time - last[w]).to_minutes();
+      gaps[w].push_back(gap);
+      out[w].gap_minutes.add(gap);
+    }
+    last[w] = f.event.time;
+    has_last[w] = true;
+  }
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    out[w].gap_ecdf = stats::Ecdf{gaps[w]};
+  }
+  return out;
+}
+
+std::vector<DominantCauseDay> TemporalAnalyzer::dominant_cause_per_day(util::TimePoint begin,
+                                                                       int days) const {
+  std::vector<std::array<std::size_t, logmodel::kRootCauseCount>> counts(
+      static_cast<std::size_t>(std::max(0, days)));
+  for (auto& c : counts) c.fill(0);
+
+  for (const auto& f : failures_) {
+    const auto offset = f.event.time - begin;
+    if (offset.usec < 0) continue;
+    const auto day = offset.usec / util::Duration::days(1).usec;
+    if (day < 0 || day >= days) continue;
+    ++counts[static_cast<std::size_t>(day)]
+            [static_cast<std::size_t>(f.inference.cause)];
+  }
+
+  std::vector<DominantCauseDay> out;
+  for (int day = 0; day < days; ++day) {
+    const auto& c = counts[static_cast<std::size_t>(day)];
+    DominantCauseDay d;
+    d.day = (begin + util::Duration::days(day)).day_index();
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      d.failures += c[i];
+      if (c[i] > d.dominant_count) {
+        d.dominant_count = c[i];
+        d.dominant = static_cast<logmodel::RootCause>(i);
+      }
+    }
+    if (d.failures > 0) out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace hpcfail::core

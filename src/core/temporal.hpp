@@ -1,0 +1,66 @@
+// Temporal failure structure: inter-node failure times, MTBF per window,
+// and the dominant-daily-cause analysis (Figs 3, 4, 19; Observation 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/root_cause.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/summary.hpp"
+
+namespace hpcfail::core {
+
+struct WindowStats {
+  std::int64_t first_day = 0;      ///< day index of the window start
+  std::size_t failures = 0;
+  stats::StreamingStats gap_minutes;  ///< inter-failure gaps inside the window
+  stats::Ecdf gap_ecdf;
+  /// Fraction of gaps at or below the given minutes (0 when no gaps).
+  [[nodiscard]] double fraction_within(double minutes) const noexcept {
+    return gap_ecdf.empty() ? 0.0 : gap_ecdf.fraction_at_or_below(minutes);
+  }
+};
+
+struct DominantCauseDay {
+  std::int64_t day = 0;            ///< day index (days since epoch)
+  std::size_t failures = 0;
+  logmodel::RootCause dominant = logmodel::RootCause::Unknown;
+  std::size_t dominant_count = 0;
+  [[nodiscard]] double dominant_share() const noexcept {
+    return failures == 0 ? 0.0
+                         : static_cast<double>(dominant_count) / static_cast<double>(failures);
+  }
+};
+
+class TemporalAnalyzer {
+ public:
+  explicit TemporalAnalyzer(const std::vector<AnalyzedFailure>& failures)
+      : failures_(failures) {}
+
+  /// Gaps (minutes) between consecutive failures in [begin, end); the
+  /// machine-wide inter-node failure times of Fig 3.
+  [[nodiscard]] std::vector<double> inter_failure_minutes(util::TimePoint begin,
+                                                          util::TimePoint end) const;
+
+  /// Per-week statistics over the span (weeks are 7-day windows from
+  /// `begin`).  Only failures inside [begin, begin + weeks*7d) count.
+  [[nodiscard]] std::vector<WindowStats> weekly_stats(util::TimePoint begin,
+                                                      int weeks) const;
+
+  /// Like weekly_stats but only failures passing `keep`.
+  [[nodiscard]] std::vector<WindowStats> weekly_stats_filtered(
+      util::TimePoint begin, int weeks,
+      const std::function<bool(const AnalyzedFailure&)>& keep) const;
+
+  /// Dominant inferred cause per day over [begin, begin + days) (Fig 4).
+  /// Days with no failures are omitted.
+  [[nodiscard]] std::vector<DominantCauseDay> dominant_cause_per_day(util::TimePoint begin,
+                                                                     int days) const;
+
+ private:
+  const std::vector<AnalyzedFailure>& failures_;
+};
+
+}  // namespace hpcfail::core

@@ -1,0 +1,107 @@
+// Emits the structured event chains of each failure mechanism and the
+// benign event populations.
+//
+// Each root cause has a characteristic propagation chain (Sections III-E/F):
+//
+//   HardwareMce       HW error -> MCE -> [CPU corruption] -> panic -> NHF
+//   FailSlowHardware  ec_hw_errors/link errors/NVF (external, minutes-to-
+//                     hours early) -> HW error -> MCE -> panic -> NHF
+//   KernelBug         invalid opcode / CPU stall -> oops(+trace) -> panic
+//   LustreBug         Lustre errors -> LBUG -> oops(dvs/ldlm trace) -> halt
+//   MemoryExhaustion  page-alloc failures -> oom-kill -> oops(xpmem/dvs
+//                     trace) -> NHC admindown
+//   AppAbnormalExit   NHC test failures -> abnormal app exit -> admindown
+//   BiosUnknown       "type:2;severity:80" error -> shutdown (no cause)
+//   L0SysdMceUnknown  L0_sysd_mce -> shutdown (no cause)
+//   OperatorError     bare shutdown
+//
+// The benign emitters produce the fault populations that do NOT lead to
+// failures (Section III-C): power-off/skipped-heartbeat NHFs, SEDC warning
+// storms, cabinet chatter, per-node error bursts and hung-task storms.
+#pragma once
+
+#include <vector>
+
+#include "faultsim/ground_truth.hpp"
+#include "faultsim/scenario.hpp"
+#include "jobs/job.hpp"
+#include "logmodel/record.hpp"
+#include "platform/topology.hpp"
+#include "util/rng.hpp"
+
+namespace hpcfail::faultsim {
+
+class ChainEmitter {
+ public:
+  ChainEmitter(const platform::Topology& topo, const FailureProcessConfig& config,
+               std::vector<logmodel::LogRecord>& out, GroundTruth& truth, util::Rng& rng);
+
+  /// Plants a failure chain; `job` may be nullptr for non-job causes.
+  /// Returns the recorded ground-truth entry.
+  const PlantedFailure& plant_failure(platform::NodeId node, util::TimePoint fail_time,
+                                      logmodel::RootCause cause, const jobs::Job* job);
+
+  // --- benign populations (no failure planted) ---
+  void emit_benign_nhf(platform::NodeId node, util::TimePoint t, bool power_off);
+  void emit_benign_nvf(platform::NodeId node, util::TimePoint t);
+  void emit_sedc_warning(platform::BladeId blade, util::TimePoint t,
+                         logmodel::EventType warning, double value);
+  void emit_cabinet_fault(platform::CabinetId cabinet, util::TimePoint t);
+  /// Burst of non-failing node errors of the given internal type
+  /// (HardwareError / MachineCheckException / LustreError).
+  void emit_benign_node_errors(platform::NodeId node, util::TimePoint t,
+                               logmodel::EventType type);
+  void emit_hung_task(platform::NodeId node, util::TimePoint t);
+  void emit_background_ec_hw_error(platform::BladeId blade, util::TimePoint t);
+  /// Non-failing oom-killer invocation with an app-flavoured call trace
+  /// (institutional-cluster pattern; Fig 15).
+  void emit_benign_oom(platform::NodeId node, util::TimePoint t);
+  /// Non-failing software error (segfault or page-allocation fault).
+  void emit_benign_sw_error(platform::NodeId node, util::TimePoint t);
+  /// Non-failing hardware-error -> MCE look-alike episode; when
+  /// `with_external` a blade ec_hw_error accompanies it (Fig 14's healthy
+  /// look-alikes).
+  void emit_multi_error_episode(platform::NodeId node, util::TimePoint t, bool with_external);
+
+  /// HSN lane degrade on a blade; when `failover_ok` the traffic re-routes
+  /// cleanly, otherwise interconnect errors surface on the blade's nodes.
+  void emit_lane_degrade(platform::BladeId blade, util::TimePoint t, bool failover_ok);
+
+  /// Intended (maintenance) shutdown of one node: shutdown marker whose
+  /// reason text identifies it as scheduled, plus the later reboot.  The
+  /// failure detector must exclude these.
+  void emit_intended_shutdown(platform::NodeId node, util::TimePoint t,
+                              util::Duration downtime);
+
+  /// System-wide outage: file-system incident plus near-simultaneous
+  /// shutdowns of `nodes`; recorded in the benign ledger, not as failures.
+  void emit_swo(const std::vector<platform::NodeId>& nodes, util::TimePoint t);
+
+  // --- scheduler events ---
+  void emit_job_records(const jobs::Job& job);
+
+ private:
+  logmodel::LogRecord base(util::TimePoint t, logmodel::LogSource src,
+                           logmodel::EventType type, logmodel::Severity sev,
+                           platform::NodeId node) const;
+  logmodel::LogRecord blade_event(util::TimePoint t, logmodel::LogSource src,
+                                  logmodel::EventType type, logmodel::Severity sev,
+                                  platform::BladeId blade) const;
+  void push(logmodel::LogRecord r) { out_.push_back(std::move(r)); }
+
+  /// Emits a kernel oops with `frames` call-trace lines; the first frame's
+  /// module is returned (the "preliminary calltrace" of Table IV).
+  std::string emit_oops_with_trace(platform::NodeId node, util::TimePoint t,
+                                   std::vector<std::string_view> modules,
+                                   std::int64_t job_id);
+
+  util::Duration minutes_jitter(double lo, double hi);
+
+  const platform::Topology& topo_;
+  const FailureProcessConfig& config_;
+  std::vector<logmodel::LogRecord>& out_;
+  GroundTruth& truth_;
+  util::Rng& rng_;
+};
+
+}  // namespace hpcfail::faultsim

@@ -1,0 +1,61 @@
+// Ground truth the fault injector records while planting failures.
+//
+// In the paper this role was played by cluster administrators who confirmed
+// which log signatures were real failures.  Here the injector keeps the
+// ledger; the analysis pipeline never reads it — only the tests and benches
+// use it to score detector recall, root-cause accuracy and lead-time
+// estimates against what was actually planted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logmodel/cause.hpp"
+#include "platform/ids.hpp"
+#include "util/time.hpp"
+
+namespace hpcfail::faultsim {
+
+struct PlantedFailure {
+  platform::NodeId node;
+  platform::BladeId blade;
+  platform::CabinetId cabinet;
+  util::TimePoint fail_time;
+  logmodel::RootCause cause = logmodel::RootCause::Unknown;
+  std::int64_t job_id = -1;  ///< job whose execution triggered the chain
+  std::int64_t apid = -1;
+  bool fail_slow = false;    ///< external early indicators were emitted
+  /// Earliest fault-indicative internal record of the chain.
+  util::TimePoint first_internal_indicator;
+  /// Earliest correlated external record; equals fail_time when none exists.
+  util::TimePoint first_external_indicator;
+  bool has_external_indicator = false;
+  /// Kernel module the injected stack trace leads with (empty when the
+  /// chain has no call trace).
+  std::string stack_module;
+};
+
+struct BenignCounts {
+  std::uint64_t nhf_power_off = 0;       ///< NHFs from powered-off nodes
+  std::uint64_t nhf_skipped_heartbeat = 0;
+  std::uint64_t nvf_benign = 0;
+  std::uint64_t sedc_warnings = 0;
+  std::uint64_t cabinet_faults = 0;
+  std::uint64_t node_hw_errors = 0;      ///< non-failing nodes with hw errors
+  std::uint64_t node_mce_triggers = 0;
+  std::uint64_t node_lustre_errors = 0;
+  std::uint64_t hung_task_nodes = 0;     ///< S5-style non-failing call traces
+  std::uint64_t intended_shutdown_nodes = 0;  ///< maintenance shutdowns
+  std::uint64_t swo_events = 0;               ///< system-wide outages
+  std::uint64_t swo_shutdown_nodes = 0;       ///< nodes taken down by SWOs
+};
+
+struct GroundTruth {
+  std::vector<PlantedFailure> failures;
+  BenignCounts benign;
+
+  [[nodiscard]] std::size_t failure_count() const noexcept { return failures.size(); }
+};
+
+}  // namespace hpcfail::faultsim

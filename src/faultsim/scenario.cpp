@@ -1,0 +1,126 @@
+#include "faultsim/scenario.hpp"
+
+namespace hpcfail::faultsim {
+
+using logmodel::RootCause;
+
+logmodel::CauseMix make_cause_mix(
+    std::initializer_list<std::pair<logmodel::RootCause, double>> entries) {
+  logmodel::CauseMix mix{};
+  for (const auto& [cause, weight] : entries) {
+    mix[static_cast<std::size_t>(cause)] = weight;
+  }
+  return mix;
+}
+
+ScenarioConfig scenario_preset(platform::SystemName name, int days, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.system = platform::system_preset(name);
+  cfg.seed = seed;
+  cfg.begin = util::make_time(2015, 3, 2);  // inside the paper's 2014-2016 window
+  cfg.days = days;
+
+  switch (name) {
+    case platform::SystemName::S1:
+      // Busy XC30: frequent short-spaced bursts (Fig 3: failures minutes
+      // apart), hardware/software/application mix close to the S3 shares.
+      cfg.failures.cause_weights = make_cause_mix({
+          {RootCause::HardwareMce, 20},
+          {RootCause::FailSlowHardware, 15},
+          {RootCause::KernelBug, 12},
+          {RootCause::LustreBug, 20},
+          {RootCause::MemoryExhaustion, 12},
+          {RootCause::AppAbnormalExit, 16},
+          {RootCause::BiosUnknown, 2},
+          {RootCause::L0SysdMceUnknown, 2},
+          {RootCause::OperatorError, 1},
+      });
+      cfg.failures.dominant_burst_mean = 9.0;
+      cfg.failures.burst_spread_minutes = 12.0;
+      cfg.benign.deviant_blade_fraction = 0.02;
+      break;
+    case platform::SystemName::S2:
+      // XE6 with Gemini: Fig 16's manifestation mix — app-exits 37.5%,
+      // FS bugs 26.78%, OOM 16.07%, kernel bugs 7.14%, other 12.5%.
+      cfg.failures.cause_weights = make_cause_mix({
+          {RootCause::AppAbnormalExit, 36.0},
+          {RootCause::LustreBug, 29.0},
+          {RootCause::MemoryExhaustion, 16.1},
+          {RootCause::KernelBug, 7.1},
+          {RootCause::HardwareMce, 4.0},
+          {RootCause::FailSlowHardware, 9.0},
+          {RootCause::BiosUnknown, 0.8},
+          {RootCause::L0SysdMceUnknown, 0.4},
+          {RootCause::OperatorError, 0.4},
+      });
+      cfg.failures.dominant_burst_mean = 7.0;
+      cfg.benign.cabinet_faults_per_day = 1700.0;
+      break;
+    case platform::SystemName::S3:
+      // XC40: Section III-F shares — hardware 37%, software 32%,
+      // application 31%; job-triggered MTBFs under 32 minutes (Fig 19).
+      cfg.failures.cause_weights = make_cause_mix({
+          {RootCause::HardwareMce, 22},
+          {RootCause::FailSlowHardware, 15},
+          {RootCause::KernelBug, 12},
+          {RootCause::LustreBug, 20},
+          {RootCause::MemoryExhaustion, 20},
+          {RootCause::AppAbnormalExit, 11},
+      });
+      cfg.failures.dominant_burst_mean = 6.0;
+      cfg.failures.burst_spread_minutes = 16.0;
+      break;
+    case platform::SystemName::S4:
+      cfg.failures.cause_weights = make_cause_mix({
+          {RootCause::HardwareMce, 18},
+          {RootCause::FailSlowHardware, 14},
+          {RootCause::KernelBug, 10},
+          {RootCause::LustreBug, 22},
+          {RootCause::MemoryExhaustion, 14},
+          {RootCause::AppAbnormalExit, 18},
+          {RootCause::BiosUnknown, 2},
+          {RootCause::L0SysdMceUnknown, 1},
+          {RootCause::OperatorError, 1},
+      });
+      cfg.failures.dominant_burst_mean = 5.0;
+      break;
+    case platform::SystemName::S5:
+      // Institutional cluster: a local file system, hung-task storms that
+      // do NOT fail nodes (Fig 15: 80.57% hung tasks), few real failures.
+      // Local file system: Lustre-style FS bugs are rare here, unlike the
+      // Cray systems (Observation 6).
+      cfg.failures.cause_weights = make_cause_mix({
+          {RootCause::MemoryExhaustion, 46},
+          {RootCause::LustreBug, 6},
+          {RootCause::AppAbnormalExit, 22},
+          {RootCause::KernelBug, 8},
+          {RootCause::HardwareMce, 6},
+          {RootCause::FailSlowHardware, 0},  // no Cray-style telemetry
+      });
+      cfg.failures.failure_day_fraction = 0.5;
+      cfg.failures.dominant_burst_mean = 3.0;
+      cfg.failures.isolated_failures_per_day = 0.6;
+      // No blade/cabinet controllers on the institutional cluster.
+      cfg.benign.benign_nhf_per_day = 0.0;
+      cfg.benign.benign_nvf_per_month = 0.0;
+      cfg.benign.deviant_blade_fraction = 0.0;
+      cfg.benign.sedc_sample_interval_minutes = 0.0;
+      cfg.benign.transient_sedc_warnings_per_day = 0.0;
+      cfg.benign.cabinet_faults_per_day = 0.0;
+      cfg.benign.background_ec_hw_errors_per_day = 0.0;
+      cfg.benign.benign_hw_error_nodes_per_day = 0.6;
+      cfg.benign.benign_mce_nodes_per_day = 0.0;
+      cfg.benign.benign_lustre_nodes_per_day = 2.0;
+      cfg.benign.benign_oom_nodes_per_day = 4.5;
+      cfg.benign.benign_sw_error_nodes_per_day = 1.0;
+      cfg.benign.hung_task_nodes_per_day = 35.0;
+      cfg.benign.multi_error_episode_nodes_per_day = 0.0;
+      cfg.benign.routine_chatter_lines_per_day = 400.0;
+      cfg.benign.lane_degrades_per_day = 0.0;  // no HSN on the IB cluster
+      cfg.workload.arrivals_per_hour = 18.0;
+      break;
+  }
+  return cfg;
+}
+
+}  // namespace hpcfail::faultsim

@@ -1,0 +1,27 @@
+// Scenario (de)serialization: every calibration knob of ScenarioConfig as
+// "section.key = value" text, so downstream users can version their
+// scenario definitions and sweep parameters without recompiling
+// (corpus_tool --config).  One key registry drives both directions, so the
+// dump/parse pair round-trips by construction.
+#pragma once
+
+#include <string>
+
+#include "faultsim/scenario.hpp"
+
+namespace hpcfail::faultsim {
+
+/// Dumps every knob, one "key = value" per line, grouped by section.
+[[nodiscard]] std::string scenario_to_string(const ScenarioConfig& config);
+
+/// Applies "key = value" lines on top of `config`.  Unknown keys, malformed
+/// lines or bad values throw std::runtime_error with the offending line.
+/// Blank lines and lines starting with '#' are ignored.
+void apply_scenario_overrides(ScenarioConfig& config, const std::string& text);
+
+/// Builds a scenario from scratch: the text must set `system` (S1..S5);
+/// `days` and `seed` default to 7 and 42.  Preset values for the chosen
+/// system are applied first, then the overrides.
+[[nodiscard]] ScenarioConfig scenario_from_string(const std::string& text);
+
+}  // namespace hpcfail::faultsim

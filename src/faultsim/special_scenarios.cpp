@@ -1,0 +1,276 @@
+#include "faultsim/special_scenarios.hpp"
+
+#include <algorithm>
+
+namespace hpcfail::faultsim {
+
+using logmodel::EventType;
+using logmodel::LogRecord;
+using logmodel::LogSource;
+using logmodel::RootCause;
+using logmodel::Severity;
+
+std::vector<OverallocationJobPlan> fig17_job_plan() {
+  // {nodes, overallocated, failures}; totals: 53 failures over 16 jobs.
+  return {
+      {650, 600, 1},  // J1
+      {40, 12, 2},    // J2
+      {80, 30, 3},    // J3
+      {120, 60, 4},   // J4: few of many fail
+      {8, 8, 8},      // J5: all overallocated nodes fail
+      {30, 10, 2},    // J6
+      {64, 20, 3},    // J7
+      {6, 6, 6},      // J8: all overallocated nodes fail
+      {48, 16, 2},    // J9
+      {32, 8, 1},     // J10
+      {100, 40, 4},   // J11
+      {24, 6, 1},     // J12
+      {72, 28, 3},    // J13
+      {56, 18, 2},    // J14
+      {200, 90, 5},   // J15: few of many fail
+      {700, 683, 6},  // J16
+  };
+}
+
+SimulationResult overallocation_day(std::uint64_t seed) {
+  ScenarioConfig cfg = scenario_preset(platform::SystemName::S1, /*days=*/1, seed);
+  cfg.enable_jobs = false;  // we hand-build the workload
+  // Silence the stochastic failure process; only the over-allocation chains
+  // should appear.
+  cfg.failures.cause_weights = {};
+  cfg.failures.failure_day_fraction = 0.0;
+  cfg.failures.isolated_failures_per_day = 0.0;
+
+  SimulationResult result{cfg, platform::Topology{cfg.system.topology}, {}, {}, {}};
+  util::Rng rng{seed ^ 0x5eedf00dULL};
+  ChainEmitter emitter(result.topology, cfg.failures, result.records, result.truth, rng);
+
+  std::uint32_t next_node = 0;
+  std::int64_t job_id = 600001;
+  const auto plans = fig17_job_plan();
+  util::TimePoint t = cfg.begin + util::Duration::hours(2);
+
+  for (const auto& plan : plans) {
+    jobs::Job job;
+    job.job_id = job_id++;
+    job.apid = job.job_id * 10 + 7;
+    job.user = "mpiuser";
+    job.app_name = "mpi_spectral";
+    job.submit = t - util::Duration::minutes(20);
+    job.start = t;
+    job.end = t + util::Duration::hours(3);
+    job.walltime_limit = util::Duration::hours(12);
+    job.mem_per_node_gb = 96.0;  // more than any node has: the Slurm bug
+    for (std::uint32_t i = 0; i < plan.nodes && next_node < result.topology.node_count();
+         ++i) {
+      job.nodes.push_back(platform::NodeId{next_node++});
+    }
+
+    // Over-allocation record for the job; the first `failures` of the
+    // overallocated nodes die with OOM chains minutes into the run.
+    job.outcome = jobs::JobOutcome::Overallocated;
+    job.overallocated_nodes =
+        std::min<std::uint32_t>(plan.overallocated, static_cast<std::uint32_t>(job.nodes.size()));
+    util::TimePoint fail_t = t + util::Duration::minutes(12);
+    std::uint32_t planted = 0;
+    for (std::uint32_t i = 0; i < plan.overallocated && i < job.nodes.size(); ++i) {
+      if (planted >= plan.failures) break;
+      emitter.plant_failure(job.nodes[i], fail_t, RootCause::MemoryExhaustion, &job);
+      fail_t = fail_t + util::Duration::seconds(rng.uniform_int(20, 180));
+      ++planted;
+    }
+    job.end = fail_t + util::Duration::minutes(2);
+    result.jobs.push_back(std::move(job));
+    // Jobs start staggered through the morning.
+    t = t + util::Duration::minutes(static_cast<std::int64_t>(rng.uniform_int(10, 40)));
+  }
+
+  for (const auto& job : result.jobs) emitter.emit_job_records(job);
+  return result;
+}
+
+namespace {
+
+/// Fresh empty result on a small Cray machine for a case study.
+SimulationResult case_base(std::uint64_t seed, int days = 1) {
+  ScenarioConfig cfg = scenario_preset(platform::SystemName::S4, days, seed);
+  cfg.enable_jobs = false;
+  cfg.failures.cause_weights = {};
+  cfg.failures.failure_day_fraction = 0.0;
+  cfg.failures.isolated_failures_per_day = 0.0;
+  return SimulationResult{cfg, platform::Topology{cfg.system.topology}, {}, {}, {}};
+}
+
+LogRecord node_rec(const platform::Topology& topo, util::TimePoint t, LogSource src,
+                   EventType type, Severity sev, platform::NodeId node,
+                   std::string detail) {
+  LogRecord r;
+  r.time = t;
+  r.source = src;
+  r.type = type;
+  r.severity = sev;
+  r.node = node;
+  r.blade = topo.blade_of(node);
+  r.cabinet = topo.cabinet_of(node);
+  r.detail = std::move(detail);
+  return r;
+}
+
+}  // namespace
+
+std::vector<CaseStudy> build_case_studies(std::uint64_t seed) {
+  std::vector<CaseStudy> cases;
+
+  // Case 1: L0_sysd_MCE + NHC warnings; blade neighbours with correctable
+  // hardware errors; no environmental or job indications. Undeducible.
+  {
+    CaseStudy cs;
+    cs.title = "Case 1: L0_sysd_mce, blade neighbours erroring";
+    cs.internal_indicators =
+        "L0_sysd_MCE followed by NHC warnings; other nodes of the blade saw "
+        "correctable H/W errors";
+    cs.external_indicators = "none around the failure time";
+    cs.expected = RootCause::L0SysdMceUnknown;
+    cs.sim = case_base(seed + 1);
+    util::Rng rng{seed + 1};
+    ChainEmitter emitter(cs.sim.topology, cs.sim.config.failures, cs.sim.records,
+                         cs.sim.truth, rng);
+    const util::TimePoint t = cs.sim.config.begin + util::Duration::hours(9);
+    const platform::NodeId victim{40};
+    emitter.plant_failure(victim, t, RootCause::L0SysdMceUnknown, nullptr);
+    // NHC warning shortly before, neighbours with benign correctable errors.
+    cs.sim.records.push_back(node_rec(cs.sim.topology, t - util::Duration::minutes(1),
+                                      LogSource::Messages, EventType::NhcTestFail,
+                                      Severity::Warning, victim, "NHC: warning"));
+    for (const auto n : cs.sim.topology.nodes_on_blade(cs.sim.topology.blade_of(victim))) {
+      if (n == victim) continue;
+      cs.sim.records.push_back(node_rec(cs.sim.topology, t - util::Duration::minutes(30),
+                                        LogSource::Console, EventType::HardwareError,
+                                        Severity::Warning, n, "correctable SSID error"));
+    }
+    cases.push_back(std::move(cs));
+  }
+
+  // Case 2: three temporally spread failures with the same
+  // HW-error -> MCE -> oops pattern; link/temperature violations distant
+  // from the failure time. CPU corruption / MCE root cause.
+  {
+    CaseStudy cs;
+    cs.title = "Case 2: repeated HW error -> MCE -> kernel oops";
+    cs.internal_indicators = "H/W error -> MCEs -> kernel oops on 3 distant nodes";
+    cs.external_indicators = "link error & temperature violations distant from failures";
+    cs.expected = RootCause::HardwareMce;
+    cs.sim = case_base(seed + 2);
+    util::Rng rng{seed + 2};
+    ChainEmitter emitter(cs.sim.topology, cs.sim.config.failures, cs.sim.records,
+                         cs.sim.truth, rng);
+    const util::TimePoint base = cs.sim.config.begin;
+    const platform::NodeId victims[] = {platform::NodeId{12}, platform::NodeId{300},
+                                        platform::NodeId{902}};
+    const util::Duration offsets[] = {util::Duration::hours(4),
+                                      util::Duration::hours(12) + util::Duration::minutes(38),
+                                      util::Duration::hours(15) + util::Duration::minutes(21)};
+    for (int i = 0; i < 3; ++i) {
+      emitter.plant_failure(victims[i], base + offsets[i], RootCause::HardwareMce, nullptr);
+    }
+    // Environmental noise hours away from any failure.
+    emitter.emit_sedc_warning(cs.sim.topology.blade_of(victims[0]),
+                              base + util::Duration::hours(20),
+                              EventType::SedcTemperatureWarning, 71.0);
+    cs.sim.records.push_back(node_rec(cs.sim.topology, base + util::Duration::hours(21),
+                                      LogSource::Erd, EventType::LinkError, Severity::Warning,
+                                      victims[0], "Aries link error"));
+    cases.push_back(std::move(cs));
+  }
+
+  // Case 3: six nodes, same job, user-killed -> oops with app-based call
+  // trace; no external indications. Application memory exhaustion.
+  {
+    CaseStudy cs;
+    cs.title = "Case 3: same job, user-killed, app call traces on 6 nodes";
+    cs.internal_indicators = "user-killed -> kernel oops (app call trace), similar times";
+    cs.external_indicators = "none; same application on all nodes";
+    cs.expected = RootCause::MemoryExhaustion;
+    cs.sim = case_base(seed + 3);
+    util::Rng rng{seed + 3};
+    ChainEmitter emitter(cs.sim.topology, cs.sim.config.failures, cs.sim.records,
+                         cs.sim.truth, rng);
+    jobs::Job job;
+    job.job_id = 777001;
+    job.apid = job.job_id * 10 + 7;
+    job.user = "chen";
+    job.app_name = "genomics_mem";
+    job.start = cs.sim.config.begin + util::Duration::hours(10);
+    job.end = job.start + util::Duration::hours(2);
+    job.mem_per_node_gb = 60.0;
+    // Six nodes on different blades (spatially distant).
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      job.nodes.push_back(platform::NodeId{20 + i * 96});
+    }
+    util::TimePoint t = job.start + util::Duration::minutes(55);
+    for (const auto n : job.nodes) {
+      emitter.plant_failure(n, t, RootCause::MemoryExhaustion, &job);
+      t = t + util::Duration::seconds(rng.uniform_int(15, 90));
+    }
+    job.outcome = jobs::JobOutcome::OomKilled;
+    job.end = t + util::Duration::minutes(1);
+    cs.sim.jobs.push_back(job);
+    emitter.emit_job_records(cs.sim.jobs.back());
+    cases.push_back(std::move(cs));
+  }
+
+  // Case 4: single failure, LustreErrors -> paging-request oops; external
+  // link errors distant in time; scheduled job aborted. App-triggered FS bug.
+  {
+    CaseStudy cs;
+    cs.title = "Case 4: Lustre errors -> paging request failure";
+    cs.internal_indicators = "LustreErrors -> unable to handle kernel paging request";
+    cs.external_indicators = "link errors & temp violations distant; job aborted";
+    cs.expected = RootCause::LustreBug;
+    cs.sim = case_base(seed + 4);
+    util::Rng rng{seed + 4};
+    ChainEmitter emitter(cs.sim.topology, cs.sim.config.failures, cs.sim.records,
+                         cs.sim.truth, rng);
+    jobs::Job job;
+    job.job_id = 777002;
+    job.apid = job.job_id * 10 + 7;
+    job.user = "dara";
+    job.app_name = "hydro_io";
+    job.start = cs.sim.config.begin + util::Duration::hours(14);
+    job.end = job.start + util::Duration::hours(4);
+    job.mem_per_node_gb = 30.0;
+    job.nodes = {platform::NodeId{64}, platform::NodeId{65}, platform::NodeId{66}};
+    const util::TimePoint t = job.start + util::Duration::minutes(80);
+    emitter.plant_failure(job.nodes[0], t, RootCause::LustreBug, &job);
+    job.outcome = jobs::JobOutcome::NodeFailure;
+    job.end = t + util::Duration::minutes(1);
+    cs.sim.jobs.push_back(job);
+    emitter.emit_job_records(cs.sim.jobs.back());
+    // Distant environmental noise.
+    cs.sim.records.push_back(node_rec(cs.sim.topology, t - util::Duration::hours(6),
+                                      LogSource::Erd, EventType::LinkError, Severity::Warning,
+                                      job.nodes[0], "Aries link error"));
+    cases.push_back(std::move(cs));
+  }
+
+  // Case 5: H/W MCEs -> critical errors with early ec_hw_errors and link
+  // errors well before the failure; no job errors. Fail-slow memory.
+  {
+    CaseStudy cs;
+    cs.title = "Case 5: fail-slow memory with early ec_hw_errors";
+    cs.internal_indicators = "H/W MCEs -> critical errors; blade neighbours benign";
+    cs.external_indicators = "ec_hw_errors & link errors well before the failure";
+    cs.expected = RootCause::FailSlowHardware;
+    cs.sim = case_base(seed + 5);
+    util::Rng rng{seed + 5};
+    ChainEmitter emitter(cs.sim.topology, cs.sim.config.failures, cs.sim.records,
+                         cs.sim.truth, rng);
+    const util::TimePoint t = cs.sim.config.begin + util::Duration::hours(16);
+    emitter.plant_failure(platform::NodeId{128}, t, RootCause::FailSlowHardware, nullptr);
+    cases.push_back(std::move(cs));
+  }
+
+  return cases;
+}
+
+}  // namespace hpcfail::faultsim

@@ -1,0 +1,40 @@
+// Hand-built scenarios for experiments that the stochastic scenario process
+// cannot target precisely:
+//
+//  - the memory over-allocation day of Fig 17 (53 failures across 16 jobs,
+//    with per-job overallocated-vs-failed node counts);
+//  - the five root-cause case studies of Table V.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faultsim/simulator.hpp"
+
+namespace hpcfail::faultsim {
+
+struct OverallocationJobPlan {
+  std::uint32_t nodes = 0;          ///< nodes allocated to the job
+  std::uint32_t overallocated = 0;  ///< nodes whose memory was over-committed
+  std::uint32_t failures = 0;       ///< overallocated nodes that actually fail
+};
+
+/// The Fig 17 plan: 16 jobs, 53 failures. J5/J8 lose every overallocated
+/// node; J1 loses 1 of 600; J16 loses 6 of 683.
+[[nodiscard]] std::vector<OverallocationJobPlan> fig17_job_plan();
+
+/// Builds the over-allocation day corpus on an S1-sized machine.
+[[nodiscard]] SimulationResult overallocation_day(std::uint64_t seed);
+
+struct CaseStudy {
+  std::string title;
+  std::string internal_indicators;   ///< Table V column 2 (what was planted)
+  std::string external_indicators;   ///< Table V column 3
+  logmodel::RootCause expected;      ///< ground-truth root cause
+  SimulationResult sim;
+};
+
+/// The five Table V cases, each as an isolated one-day corpus.
+[[nodiscard]] std::vector<CaseStudy> build_case_studies(std::uint64_t seed);
+
+}  // namespace hpcfail::faultsim

@@ -1,0 +1,66 @@
+#include "jobs/allocator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hpcfail::jobs {
+
+NodeAllocator::NodeAllocator(const platform::Topology& topo)
+    : topo_(topo), free_at_(topo.node_count(), util::TimePoint{0}) {}
+
+std::vector<platform::NodeId> NodeAllocator::allocate(std::uint32_t count,
+                                                      util::TimePoint start,
+                                                      util::TimePoint end, AllocPolicy policy,
+                                                      util::Rng& rng) {
+  std::vector<platform::NodeId> picked;
+  if (count == 0 || count > topo_.node_count()) return picked;
+  picked.reserve(count);
+
+  auto is_free = [this, start](std::uint32_t node) { return free_at_[node] <= start; };
+
+  if (policy == AllocPolicy::BladePacked) {
+    // Walk blades from a random offset, taking whole free blades first.
+    const std::uint32_t blades = topo_.blade_count();
+    const auto offset = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(blades) - 1));
+    for (std::uint32_t step = 0; step < blades && picked.size() < count; ++step) {
+      const platform::BladeId blade{(offset + step) % blades};
+      for (const auto node : topo_.nodes_on_blade(blade)) {
+        if (picked.size() >= count) break;
+        if (is_free(node.value)) picked.push_back(node);
+      }
+    }
+  } else {
+    // Random scatter: random start, stride coprime with n so the probe
+    // visits every node exactly once.
+    const std::uint32_t n = topo_.node_count();
+    const auto offset =
+        static_cast<std::uint32_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto stride = static_cast<std::uint32_t>(rng.uniform_int(1, 257));
+    while (std::gcd(stride, n) != 1) ++stride;
+    for (std::uint32_t step = 0; step < n && picked.size() < count; ++step) {
+      const std::uint32_t node = (offset + step * stride) % n;
+      if (is_free(node)) picked.push_back(platform::NodeId{node});
+    }
+  }
+
+  if (picked.size() < count) return {};  // not enough capacity right now
+  for (const auto node : picked) free_at_[node.value] = end;
+  return picked;
+}
+
+void NodeAllocator::release(platform::NodeId node, util::TimePoint at) noexcept {
+  if (node.valid() && node.value < free_at_.size()) {
+    free_at_[node.value] = std::min(free_at_[node.value], at);
+  }
+}
+
+std::uint32_t NodeAllocator::free_count(util::TimePoint t) const noexcept {
+  std::uint32_t n = 0;
+  for (const auto f : free_at_) {
+    if (f <= t) ++n;
+  }
+  return n;
+}
+
+}  // namespace hpcfail::jobs

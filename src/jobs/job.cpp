@@ -1,0 +1,31 @@
+#include "jobs/job.hpp"
+
+namespace hpcfail::jobs {
+
+std::string_view to_string(JobOutcome o) noexcept {
+  switch (o) {
+    case JobOutcome::Completed: return "Completed";
+    case JobOutcome::NonZeroExit: return "NonZeroExit";
+    case JobOutcome::ConfigError: return "ConfigError";
+    case JobOutcome::UserCancelled: return "UserCancelled";
+    case JobOutcome::OomKilled: return "OomKilled";
+    case JobOutcome::NodeFailure: return "NodeFailure";
+    case JobOutcome::Overallocated: return "Overallocated";
+  }
+  return "?";
+}
+
+int exit_code_for(JobOutcome o) noexcept {
+  switch (o) {
+    case JobOutcome::Completed: return 0;
+    case JobOutcome::NonZeroExit: return 1;
+    case JobOutcome::ConfigError: return 2;
+    case JobOutcome::UserCancelled: return 130;  // SIGINT convention
+    case JobOutcome::OomKilled: return 137;      // SIGKILL convention
+    case JobOutcome::NodeFailure: return 143;    // SIGTERM convention
+    case JobOutcome::Overallocated: return 137;
+  }
+  return -1;
+}
+
+}  // namespace hpcfail::jobs

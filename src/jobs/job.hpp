@@ -1,0 +1,51 @@
+// Scheduler-side job model: what Slurm/Torque knows about a job.  The fault
+// simulator consumes these to drive application-triggered failure chains and
+// writes back the final outcome; the scheduler log generator renders them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "platform/ids.hpp"
+#include "util/time.hpp"
+
+namespace hpcfail::jobs {
+
+enum class JobOutcome : std::uint8_t {
+  Completed,      ///< exit 0
+  NonZeroExit,    ///< application returned non-zero (app bug / bad input)
+  ConfigError,    ///< wall-time / memory-limit exceeded, bad submission
+  UserCancelled,  ///< scancel / interactive cancellation
+  OomKilled,      ///< oom-killer terminated the job's processes
+  NodeFailure,    ///< a node allocated to the job failed under it
+  Overallocated,  ///< scheduler over-allocated memory; job died on the node
+};
+
+[[nodiscard]] std::string_view to_string(JobOutcome o) noexcept;
+
+/// Exit code the scheduler records for an outcome (Fig 12's breakdown).
+[[nodiscard]] int exit_code_for(JobOutcome o) noexcept;
+
+struct Job {
+  std::int64_t job_id = 0;
+  std::int64_t apid = 0;  ///< ALPS application id; equal jobs share an apid
+  std::string user;
+  std::string app_name;
+  util::TimePoint submit;
+  util::TimePoint start;
+  util::TimePoint end;  ///< actual end (set by the simulator)
+  util::Duration walltime_limit{};
+  double mem_per_node_gb = 0.0;  ///< requested memory per node
+  std::vector<platform::NodeId> nodes;
+  JobOutcome outcome = JobOutcome::Completed;
+  /// Nodes whose memory the scheduler over-committed (Fig 17's bug); only
+  /// meaningful when outcome == Overallocated.
+  std::uint32_t overallocated_nodes = 0;
+
+  [[nodiscard]] int exit_code() const noexcept { return exit_code_for(outcome); }
+  [[nodiscard]] bool failed() const noexcept { return outcome != JobOutcome::Completed; }
+};
+
+}  // namespace hpcfail::jobs

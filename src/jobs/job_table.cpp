@@ -1,0 +1,106 @@
+#include "jobs/job_table.hpp"
+
+#include <algorithm>
+
+namespace hpcfail::jobs {
+
+JobTable JobTable::from_jobs(const std::vector<Job>& jobs) {
+  JobTable table;
+  for (const auto& j : jobs) {
+    JobInfo info;
+    info.job_id = j.job_id;
+    info.apid = j.apid;
+    info.user = j.user;
+    info.app_name = j.app_name;
+    info.start = j.start;
+    info.end = j.end;
+    info.mem_per_node_gb = j.mem_per_node_gb;
+    info.nodes = j.nodes;
+    info.exit_code = j.exit_code();
+    info.end_reason = std::string(to_string(j.outcome));
+    info.ended = true;
+    info.overallocated = j.outcome == JobOutcome::Overallocated;
+    info.overallocated_nodes = j.overallocated_nodes;
+    info.cancelled = j.outcome == JobOutcome::UserCancelled;
+    table.add_start(std::move(info));
+  }
+  table.finalize();
+  return table;
+}
+
+void JobTable::add_start(JobInfo info) {
+  finalized_ = false;
+  const auto it = by_id_.find(info.job_id);
+  if (it != by_id_.end()) {
+    jobs_[it->second] = std::move(info);
+    return;
+  }
+  by_id_[info.job_id] = jobs_.size();
+  jobs_.push_back(std::move(info));
+}
+
+void JobTable::add_end(std::int64_t job_id, util::TimePoint end, int exit_code,
+                       std::string reason) {
+  const auto it = by_id_.find(job_id);
+  if (it == by_id_.end()) return;
+  JobInfo& info = jobs_[it->second];
+  info.end = end;
+  info.exit_code = exit_code;
+  info.end_reason = std::move(reason);
+  info.ended = true;
+}
+
+void JobTable::mark_overallocated(std::int64_t job_id, std::uint32_t node_count) {
+  const auto it = by_id_.find(job_id);
+  if (it == by_id_.end()) return;
+  jobs_[it->second].overallocated = true;
+  jobs_[it->second].overallocated_nodes = node_count;
+}
+
+void JobTable::mark_cancelled(std::int64_t job_id) {
+  const auto it = by_id_.find(job_id);
+  if (it != by_id_.end()) jobs_[it->second].cancelled = true;
+}
+
+void JobTable::finalize() {
+  if (finalized_) return;
+  by_node_.clear();
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    for (const auto node : jobs_[i].nodes) {
+      by_node_[node.value].push_back(i);
+    }
+  }
+  for (auto& [node, idx] : by_node_) {
+    std::sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
+      return jobs_[a].start < jobs_[b].start;
+    });
+  }
+  finalized_ = true;
+}
+
+const JobInfo* JobTable::find(std::int64_t job_id) const noexcept {
+  const auto it = by_id_.find(job_id);
+  return it == by_id_.end() ? nullptr : &jobs_[it->second];
+}
+
+const JobInfo* JobTable::job_on_node_at(platform::NodeId node, util::TimePoint t,
+                                        util::Duration slack) const noexcept {
+  const auto it = by_node_.find(node.value);
+  if (it == by_node_.end()) return nullptr;
+  for (const std::size_t idx : it->second) {
+    const JobInfo& j = jobs_[idx];
+    if (j.start - slack <= t && t < j.end + slack) return &j;
+    if (j.start - slack > t) break;  // sorted by start; no later job matches
+  }
+  return nullptr;
+}
+
+std::vector<const JobInfo*> JobTable::running_at(util::TimePoint t) const {
+  std::vector<const JobInfo*> out;
+  for (const auto& j : jobs_) {
+    if (j.start <= t && t < j.end) out.push_back(&j);
+  }
+  return out;
+}
+
+}  // namespace hpcfail::jobs

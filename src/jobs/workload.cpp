@@ -1,0 +1,83 @@
+#include "jobs/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcfail::jobs {
+
+WorkloadGenerator::WorkloadGenerator(const platform::Topology& topo, AppCatalog catalog,
+                                     WorkloadConfig config, util::Rng rng)
+    : topo_(topo), catalog_(std::move(catalog)), config_(std::move(config)), rng_(rng) {}
+
+std::uint32_t WorkloadGenerator::sample_size(util::Rng& rng) const {
+  static constexpr std::uint32_t kLo[] = {1, 2, 8, 64, 512};
+  static constexpr std::uint32_t kHi[] = {1, 4, 32, 256, 2048};
+  const std::size_t cls = rng.weighted_index(config_.size_class_weights);
+  const std::size_t idx = std::min<std::size_t>(cls, 4);
+  const auto size = static_cast<std::uint32_t>(
+      rng.uniform_int(kLo[idx], kHi[idx]));
+  return std::min(size, std::max(1u, topo_.node_count() / 2));
+}
+
+std::vector<Job> WorkloadGenerator::generate(util::TimePoint begin, util::TimePoint end) {
+  std::vector<Job> out;
+  NodeAllocator allocator(topo_);
+  const double rate_per_min = config_.arrivals_per_hour / 60.0;
+  util::TimePoint t = begin;
+  std::vector<std::string> users = {"alice", "bob", "chen", "dara", "eli",
+                                    "fei",   "gus", "hana", "ivan", "jing"};
+  while (true) {
+    const double gap_min = rng_.exponential(rate_per_min);
+    t = t + util::Duration::seconds(static_cast<std::int64_t>(gap_min * 60.0));
+    if (t >= end) break;
+
+    Job job;
+    job.job_id = next_job_id_++;
+    job.apid = job.job_id * 10 + 7;  // distinct apid namespace, stable mapping
+    const AppProfile& app = catalog_.sample(rng_);
+    job.app_name = app.name;
+    job.user = users[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(users.size()) - 1))];
+    job.submit = t - util::Duration::seconds(rng_.uniform_int(5, 3600));
+    job.start = t;
+    const double duration_min =
+        std::min(rng_.lognormal(config_.duration_lognorm_mu, config_.duration_lognorm_sigma),
+                 1440.0 * 3);
+    job.end = t + util::Duration::seconds(static_cast<std::int64_t>(duration_min * 60.0));
+    job.walltime_limit = config_.default_walltime;
+    job.mem_per_node_gb = std::max(1.0, rng_.normal(app.mem_hunger_gb, app.mem_hunger_gb * 0.2));
+
+    const std::uint32_t want = sample_size(rng_);
+    const AllocPolicy policy = rng_.bernoulli(config_.blade_packed_fraction)
+                                   ? AllocPolicy::BladePacked
+                                   : AllocPolicy::Scattered;
+    job.nodes = allocator.allocate(want, job.start, job.end, policy, rng_);
+    if (job.nodes.empty()) {
+      // Machine busy: try a quarter-size job before skipping the arrival.
+      job.nodes = allocator.allocate(std::max(1u, want / 4), job.start, job.end, policy, rng_);
+      if (job.nodes.empty()) continue;
+    }
+
+    // Provisional scheduler-side outcome; the fault simulator may override.
+    const double roll = rng_.uniform();
+    if (roll < app.p_config_error) {
+      job.outcome = JobOutcome::ConfigError;
+      // Configuration errors surface early: truncate the runtime.
+      job.end = job.start + util::Duration::seconds(
+                                std::max<std::int64_t>(30, static_cast<std::int64_t>(
+                                                               duration_min * 6.0)));
+    } else if (roll < app.p_config_error + app.p_nonzero_exit) {
+      job.outcome = JobOutcome::NonZeroExit;
+    } else if (roll < app.p_config_error + app.p_nonzero_exit + 0.012) {
+      job.outcome = JobOutcome::UserCancelled;
+      job.end = job.start + util::Duration::seconds(static_cast<std::int64_t>(
+                                duration_min * 60.0 * rng_.uniform(0.05, 0.8)));
+    }
+    out.push_back(std::move(job));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Job& a, const Job& b) { return a.start < b.start; });
+  return out;
+}
+
+}  // namespace hpcfail::jobs

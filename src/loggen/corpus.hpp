@@ -1,0 +1,59 @@
+// A corpus is the raw-text form of a simulated log window: one text blob
+// per log source plus a manifest describing the machine (the information a
+// site operator would know out-of-band: system label, topology, scheduler,
+// log window).  Corpora can live in memory or be written to / read from a
+// directory of files:
+//
+//   <dir>/manifest.txt   key=value lines
+//   <dir>/p0-console.log p0-messages.log p0-consumer.log
+//   <dir>/controller.log erd.log scheduler.log
+//
+// The institutional system S5 has no controller/ERD universe; those files
+// are simply absent, which is how the paper's "no external environmental
+// logs for S5" materializes at the text level.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "faultsim/simulator.hpp"
+#include "logmodel/event_type.hpp"
+#include "platform/system_config.hpp"
+
+namespace hpcfail::loggen {
+
+struct Corpus {
+  platform::SystemConfig system;
+  util::TimePoint begin;
+  int days = 0;
+  /// Raw text per source, one line per record, time-ordered.
+  std::array<std::string, logmodel::kLogSourceCount> text;
+  /// Routine chatter lines interleaved into console/messages (not events;
+  /// parsers must skip exactly these).
+  std::size_t chatter_lines = 0;
+
+  [[nodiscard]] const std::string& of(logmodel::LogSource s) const noexcept {
+    return text[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::string& of(logmodel::LogSource s) noexcept {
+    return text[static_cast<std::size_t>(s)];
+  }
+  /// Total corpus size in bytes.
+  [[nodiscard]] std::size_t bytes() const noexcept;
+};
+
+/// Renders a simulation into raw text (in memory).
+[[nodiscard]] Corpus build_corpus(const faultsim::SimulationResult& sim);
+
+/// Writes a corpus to a directory (created if needed). Throws on IO errors.
+void write_corpus(const Corpus& corpus, const std::string& dir);
+
+/// Reads a corpus back from a directory. Throws on missing manifest or
+/// malformed fields.
+[[nodiscard]] Corpus read_corpus(const std::string& dir);
+
+/// Serializes/parses the manifest (exposed for tests).
+[[nodiscard]] std::string manifest_to_string(const Corpus& corpus);
+[[nodiscard]] Corpus corpus_from_manifest(const std::string& manifest);
+
+}  // namespace hpcfail::loggen

@@ -1,0 +1,66 @@
+#include "loggen/degrade.hpp"
+
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace hpcfail::loggen {
+
+namespace {
+
+/// Best-effort line timestamp: ISO prefix, else syslog prefix.
+std::optional<util::TimePoint> line_time(std::string_view line, int base_year) {
+  if (line.size() >= 26) {
+    if (const auto iso = util::parse_iso(line.substr(0, 26))) return iso;
+  }
+  if (line.size() >= 15) {
+    if (const auto sys = util::parse_syslog(line.substr(0, 15), base_year)) return sys;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Corpus degrade_corpus(const Corpus& corpus, const DegradeConfig& config) {
+  Corpus out = corpus;
+  util::Rng rng(config.seed);
+  const int base_year = util::civil_time(corpus.begin).year;
+
+  for (std::size_t s = 0; s < out.text.size(); ++s) {
+    if (config.drop_source[s]) {
+      out.text[s].clear();
+      continue;
+    }
+    if (config.drop_line_fraction <= 0.0 && config.corrupt_line_fraction <= 0.0 &&
+        !config.gap_begin) {
+      continue;
+    }
+    std::string degraded;
+    degraded.reserve(out.text[s].size());
+    for (const auto line : util::split(out.text[s], '\n')) {
+      if (line.empty()) continue;
+      if (config.drop_line_fraction > 0.0 && rng.bernoulli(config.drop_line_fraction)) {
+        continue;
+      }
+      if (config.gap_begin && config.gap_end) {
+        const auto t = line_time(line, base_year);
+        if (t && *t >= *config.gap_begin && *t < *config.gap_end) continue;
+      }
+      std::string kept(line);
+      if (config.corrupt_line_fraction > 0.0 &&
+          rng.bernoulli(config.corrupt_line_fraction) && !kept.empty()) {
+        const auto bytes = rng.uniform_int(1, 5);
+        for (std::int64_t b = 0; b < bytes; ++b) {
+          const auto pos = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(kept.size()) - 1));
+          kept[pos] = static_cast<char>(rng.uniform_int(33, 126));
+        }
+      }
+      degraded += kept;
+      degraded += '\n';
+    }
+    out.text[s] = std::move(degraded);
+  }
+  return out;
+}
+
+}  // namespace hpcfail::loggen

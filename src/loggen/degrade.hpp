@@ -1,0 +1,34 @@
+// Corpus degradation: models the logging discrepancies the paper names as
+// its first challenge — "production logs occasionally contain missing
+// (specific time duration) or partial information (absence of certain
+// environmental logs)".  Degradation operates on raw text, so robustness is
+// measured on exactly the input a real deployment would face.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "loggen/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace hpcfail::loggen {
+
+struct DegradeConfig {
+  /// Fraction of lines dropped uniformly at random (per source).
+  double drop_line_fraction = 0.0;
+  /// Fraction of lines with random byte corruption applied.
+  double corrupt_line_fraction = 0.0;
+  /// When set, all lines with ISO timestamps inside [gap_begin, gap_end)
+  /// are removed — a missing time duration.  Syslog-stamped sources are
+  /// matched by parsing their stamps with the corpus base year.
+  std::optional<util::TimePoint> gap_begin;
+  std::optional<util::TimePoint> gap_end;
+  /// Sources removed entirely (e.g. no environmental logs, as for S5).
+  std::array<bool, logmodel::kLogSourceCount> drop_source{};
+  std::uint64_t seed = 99;
+};
+
+/// Returns a degraded copy; the manifest is untouched.
+[[nodiscard]] Corpus degrade_corpus(const Corpus& corpus, const DegradeConfig& config);
+
+}  // namespace hpcfail::loggen

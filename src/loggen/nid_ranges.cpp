@@ -1,0 +1,92 @@
+#include "loggen/nid_ranges.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace hpcfail::loggen {
+
+namespace {
+constexpr int kNidWidth = 5;
+constexpr int kHostWidth = 4;
+}  // namespace
+
+std::string compress_node_list(std::vector<platform::NodeId> nodes,
+                               platform::NamingScheme naming) {
+  const char* prefix = naming == platform::NamingScheme::CrayCname ? "nid" : "node";
+  const int width = naming == platform::NamingScheme::CrayCname ? kNidWidth : kHostWidth;
+  if (nodes.empty()) return std::string(prefix) + "[]";
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+
+  char buf[32];
+  if (nodes.size() == 1) {
+    std::snprintf(buf, sizeof buf, "%s%0*u", prefix, width, nodes[0].value);
+    return buf;
+  }
+  std::string out = prefix;
+  out += '[';
+  std::size_t i = 0;
+  bool first = true;
+  while (i < nodes.size()) {
+    std::size_t j = i;
+    while (j + 1 < nodes.size() && nodes[j + 1].value == nodes[j].value + 1) ++j;
+    if (!first) out += ',';
+    first = false;
+    if (j == i) {
+      std::snprintf(buf, sizeof buf, "%0*u", width, nodes[i].value);
+      out += buf;
+    } else {
+      std::snprintf(buf, sizeof buf, "%0*u-%0*u", width, nodes[i].value, width,
+                    nodes[j].value);
+      out += buf;
+    }
+    i = j + 1;
+  }
+  out += ']';
+  return out;
+}
+
+std::optional<std::vector<platform::NodeId>> expand_node_list(std::string_view text) noexcept {
+  std::string_view rest;
+  if (auto r = util::strip_prefix(text, "nid")) {
+    rest = *r;
+  } else if (auto r2 = util::strip_prefix(text, "node")) {
+    rest = *r2;
+  } else {
+    return std::nullopt;
+  }
+
+  std::vector<platform::NodeId> out;
+  auto parse_one = [&out](std::string_view piece) -> bool {
+    const std::size_t dash = piece.find('-');
+    if (dash == std::string_view::npos) {
+      const auto v = util::parse_u64(piece);
+      if (!v) return false;
+      out.push_back(platform::NodeId{static_cast<std::uint32_t>(*v)});
+      return true;
+    }
+    const auto lo = util::parse_u64(piece.substr(0, dash));
+    const auto hi = util::parse_u64(piece.substr(dash + 1));
+    if (!lo || !hi || *hi < *lo || *hi - *lo > 1'000'000) return false;
+    for (std::uint64_t v = *lo; v <= *hi; ++v) {
+      out.push_back(platform::NodeId{static_cast<std::uint32_t>(v)});
+    }
+    return true;
+  };
+
+  if (!rest.empty() && rest.front() == '[') {
+    if (rest.back() != ']') return std::nullopt;
+    const std::string_view inner = rest.substr(1, rest.size() - 2);
+    if (inner.empty()) return out;  // explicit empty list
+    for (const auto piece : util::split(inner, ',')) {
+      if (!parse_one(piece)) return std::nullopt;
+    }
+    return out;
+  }
+  if (!parse_one(rest)) return std::nullopt;
+  return out;
+}
+
+}  // namespace hpcfail::loggen

@@ -1,0 +1,320 @@
+#include "loggen/renderer.hpp"
+
+#include <cstdio>
+
+#include "loggen/nid_ranges.hpp"
+#include "util/table.hpp"
+
+namespace hpcfail::loggen {
+
+using logmodel::EventType;
+using logmodel::LogRecord;
+using logmodel::LogSource;
+
+LogRenderer::LogRenderer(const platform::Topology& topo, platform::SchedulerKind scheduler)
+    : topo_(topo), scheduler_(scheduler) {}
+
+std::string internal_payload(const LogRecord& r) {
+  switch (r.type) {
+    case EventType::KernelPanic:
+      return "Kernel panic - not syncing: " + r.detail;
+    case EventType::KernelOops:
+      return "BUG: unable to handle kernel paging request at 00000000deadbeef";
+    case EventType::CallTrace:
+      return " [<ffffffff81234567>] " + r.detail + "+0x1a2/0x400";
+    case EventType::MachineCheckException:
+      return "mce: [Hardware Error]: Machine check events logged: " + r.detail;
+    case EventType::HardwareError:
+      return "EDAC MC0: " + r.detail;
+    case EventType::CpuCorruption:
+      return "mce: [Hardware Error]: PCC processor context corrupt: " + r.detail;
+    case EventType::CpuStall:
+      return "INFO: rcu_sched self-detected stall on CPU: " + r.detail;
+    case EventType::BiosError:
+      return "HEST: " + r.detail;
+    case EventType::FirmwareBug:
+      return "[Firmware Bug]: " + r.detail;
+    case EventType::DriverBug:
+      return "WARNING: driver bug: " + r.detail;
+    case EventType::SegFault:
+      return "app[31337]: segfault at 0 ip 00007f err 4: " + r.detail;
+    case EventType::InvalidOpcode:
+      return "invalid opcode: 0000 [#1] SMP: " + r.detail;
+    case EventType::PageAllocationFailure:
+      return r.detail + ", mode:0x4020";
+    case EventType::OomKill:
+      return r.detail + " score 987 or sacrifice child";
+    case EventType::HungTaskTimeout:
+      return "INFO: task blocked for more than 120 seconds: " + r.detail;
+    case EventType::LustreBug:
+      return "LustreError: LBUG - ASSERTION failed: " + r.detail;
+    case EventType::LustreError:
+      return "LustreError: 11-0: " + r.detail;
+    case EventType::DvsError:
+      return "DVS: " + r.detail;
+    case EventType::InodeError:
+      return "LDISKFS-fs error: bad inode: " + r.detail;
+    case EventType::InterconnectError:
+      return "hsn: link error detected: " + r.detail;
+    case EventType::NodeShutdown:
+      return "Shutdown: system going down: " + r.detail;
+    case EventType::NodeHalt:
+      return "System halted: " + r.detail;
+    case EventType::NodeBoot:
+      return "Booting Linux on physical CPU 0x0: " + r.detail;
+    default:
+      return r.detail;
+  }
+}
+
+std::string_view erd_event_name(EventType t) noexcept {
+  switch (t) {
+    case EventType::NodeHeartbeatFault: return "ec_node_failed";
+    case EventType::NodeVoltageFault: return "ec_node_voltage_fault";
+    case EventType::BladeHeartbeatFault: return "ec_bc_heartbeat_fault";
+    case EventType::EcHeartbeatStop: return "ec_heartbeat_stop";
+    case EventType::EcL0Failed: return "ec_l0_failed";
+    case EventType::EcHwError: return "ec_hw_error";
+    case EventType::LinkError: return "ec_link_error";
+    case EventType::LaneDegrade: return "ec_lane_degrade";
+    case EventType::LinkFailover: return "ec_link_failover";
+    case EventType::LinkFailoverFailed: return "ec_failover_failed";
+    case EventType::GetSensorReadingFailed: return "ec_get_sensor_failed";
+    default: return "ec_event";
+  }
+}
+
+namespace {
+
+/// Controller payload for controller-scoped event types.
+std::string controller_payload(const LogRecord& r) {
+  char value_buf[48];
+  switch (r.type) {
+    case EventType::SedcTemperatureWarning:
+      std::snprintf(value_buf, sizeof value_buf, "%.3f", r.value);
+      return std::string("ec_sedc_warning: CPU_TEMP reading ") + value_buf +
+             " outside allowed band";
+    case EventType::SedcVoltageWarning:
+      std::snprintf(value_buf, sizeof value_buf, "%.3f", r.value);
+      return std::string("ec_sedc_warning: VDD reading ") + value_buf + " below minimum";
+    case EventType::SedcAirVelocityWarning:
+      std::snprintf(value_buf, sizeof value_buf, "%.3f", r.value);
+      return std::string("ec_sedc_warning: AIR_VEL reading ") + value_buf +
+             " below minimum";
+    case EventType::SedcFanSpeedWarning:
+      std::snprintf(value_buf, sizeof value_buf, "%.3f", r.value);
+      return std::string("ec_environment: fan speed deviation reading ") + value_buf;
+    case EventType::SedcReading:
+      std::snprintf(value_buf, sizeof value_buf, "%.3f", r.value);
+      return "sedc: " + r.detail + " value=" + value_buf;
+    case EventType::CabinetPowerFault:
+      return "cabinet power fault detected";
+    case EventType::CabinetMicroFault:
+      return "cabinet micro controller fault";
+    case EventType::CommunicationFault:
+      return "communication fault: controller timeout";
+    case EventType::ModuleHealthFault:
+      return "module health fault";
+    case EventType::RpmFault:
+      return "RPM fault on fan 3";
+    case EventType::EcbFault:
+      return "ECB fault: circuit breaker tripped";
+    case EventType::CabinetSensorCheck:
+      return "cabinet sensor check failed";
+    case EventType::GetSensorReadingFailed:
+      return "get sensor reading failed";
+    case EventType::BladeHeartbeatFault:
+      return "bc heartbeat fault";
+    case EventType::L0SysdMce:
+      return "L0_sysd_mce: " + r.detail;
+    default:
+      return r.detail;
+  }
+}
+
+}  // namespace
+
+std::string LogRenderer::console_line(const LogRecord& r) const {
+  std::string line = util::format_iso(r.time);
+  line += ' ';
+  line += topo_.node_name(r.node);
+  if (topo_.config().naming == platform::NamingScheme::CrayCname) {
+    line += ' ';
+    line += topo_.cname_of(r.node).to_string();
+  }
+  line += r.source == LogSource::Consumer ? " hwerrd: " : " kernel: ";
+  line += internal_payload(r);
+  if (r.has_job()) {
+    line += " jobid=";
+    line += std::to_string(r.job_id);
+  }
+  return line;
+}
+
+std::string LogRenderer::messages_line(const LogRecord& r) const {
+  std::string line = util::format_syslog(r.time);
+  line += ' ';
+  line += topo_.node_name(r.node);
+  line += " nhc[2114]: ";
+  line += r.detail;
+  if (r.has_job()) {
+    line += " jobid=";
+    line += std::to_string(r.job_id);
+  }
+  return line;
+}
+
+std::string LogRenderer::controller_line(const LogRecord& r) const {
+  std::string line = util::format_iso(r.time);
+  line += ' ';
+  if (r.has_node()) {
+    line += topo_.cname_of(r.node).to_string();
+  } else if (r.has_blade()) {
+    line += topo_.cname_of_blade(r.blade).to_string();
+  } else if (r.has_cabinet()) {
+    line += topo_.cname_of_cabinet(r.cabinet).to_string();
+  } else {
+    line += "c?-?";
+  }
+  line += " cc: ";
+  line += controller_payload(r);
+  return line;
+}
+
+std::string LogRenderer::erd_line(const LogRecord& r) const {
+  std::string line = util::format_iso(r.time);
+  line += " erd ev=";
+  line += erd_event_name(r.type);
+  line += " src=";
+  if (r.has_node()) {
+    line += topo_.cname_of(r.node).to_string();
+  } else if (r.has_blade()) {
+    line += topo_.cname_of_blade(r.blade).to_string();
+  } else if (r.has_cabinet()) {
+    line += topo_.cname_of_cabinet(r.cabinet).to_string();
+  } else {
+    line += "c0-0";
+  }
+  if (r.has_node()) {
+    line += " node=";
+    line += topo_.node_name(r.node);
+  }
+  line += ' ';
+  line += r.detail;
+  return line;
+}
+
+std::string LogRenderer::scheduler_line(const LogRecord& r) const {
+  // Minimal record-level rendering; full job groups come from
+  // render_job_lines which also carries the node list.
+  std::string line = util::format_iso(r.time);
+  line += scheduler_ == platform::SchedulerKind::Slurm ? " slurmctld: " : " pbs_server: ";
+  switch (r.type) {
+    case EventType::JobStart:
+      line += "sched: Allocate JobId=" + std::to_string(r.job_id) + " App=" + r.detail;
+      break;
+    case EventType::JobEnd:
+      line += "JobId=" + std::to_string(r.job_id) +
+              " Ended ExitCode=" + std::to_string(static_cast<int>(r.value)) +
+              ":0 Reason=" + r.detail;
+      break;
+    case EventType::JobCancelled:
+      line += "scancel JobId=" + std::to_string(r.job_id) + " " + r.detail;
+      break;
+    case EventType::JobOverallocation:
+      line += "error: JobId=" + std::to_string(r.job_id) +
+              " allocated memory exceeds node capacity";
+      break;
+    case EventType::EpilogueRun:
+      line += "epilog complete JobId=" + std::to_string(r.job_id);
+      break;
+    case EventType::NhcSuspectMode:
+      line += "NHC: suspect JobId=" + std::to_string(r.job_id);
+      break;
+    default:
+      line += r.detail;
+      break;
+  }
+  return line;
+}
+
+std::string LogRenderer::render(const LogRecord& r) const {
+  switch (r.source) {
+    case LogSource::Console:
+    case LogSource::Consumer:
+      return console_line(r);
+    case LogSource::Messages:
+      return messages_line(r);
+    case LogSource::Controller:
+      return controller_line(r);
+    case LogSource::Erd:
+      return erd_line(r);
+    case LogSource::Scheduler:
+      return scheduler_line(r);
+    case LogSource::kCount:
+      break;
+  }
+  return {};
+}
+
+std::vector<LogRenderer::SchedulerLine> LogRenderer::render_job_lines(
+    const jobs::Job& job) const {
+  std::vector<SchedulerLine> lines;
+  char buf[64];
+
+  std::snprintf(buf, sizeof buf, " MemPerNode=%.1fG", job.mem_per_node_gb);
+  const std::string alloc_fields =
+      "Apid=" + std::to_string(job.apid) + " User=" + job.user + " App=" + job.app_name +
+      " NodeList=" + compress_node_list(job.nodes, topo_.config().naming) +
+      " NodeCnt=" + std::to_string(job.nodes.size()) + buf;
+
+  if (scheduler_ == platform::SchedulerKind::Slurm) {
+    const std::string daemon = " slurmctld: ";
+    lines.push_back({job.start, util::format_iso(job.start) + daemon +
+                                    "sched: Allocate JobId=" + std::to_string(job.job_id) +
+                                    ' ' + alloc_fields});
+    if (job.outcome == jobs::JobOutcome::Overallocated) {
+      const util::TimePoint t = job.start + util::Duration::seconds(30);
+      lines.push_back({t, util::format_iso(t) + daemon + "error: JobId=" +
+                              std::to_string(job.job_id) +
+                              " OverallocCnt=" + std::to_string(job.overallocated_nodes) +
+                              " allocated memory exceeds node capacity"});
+    }
+    if (job.outcome == jobs::JobOutcome::UserCancelled) {
+      const util::TimePoint t = job.end - util::Duration::seconds(1);
+      lines.push_back({t, util::format_iso(t) + daemon + "scancel JobId=" +
+                              std::to_string(job.job_id) + " by user " + job.user});
+    }
+    lines.push_back({job.end, util::format_iso(job.end) + daemon + "JobId=" +
+                                  std::to_string(job.job_id) +
+                                  " Ended ExitCode=" + std::to_string(job.exit_code()) +
+                                  ":0 Reason=" + std::string(to_string(job.outcome))});
+    const util::TimePoint epi = job.end + util::Duration::seconds(5);
+    lines.push_back({epi, util::format_iso(epi) + daemon +
+                              "epilog complete JobId=" + std::to_string(job.job_id)});
+    return lines;
+  }
+
+  // Torque/PBS server-log dialect:
+  //   MM/DD/YYYY HH:MM:SS;0008;PBS_Server;Job;<id>.sdb;<payload>
+  auto torque = [&job](util::TimePoint t, const std::string& payload) {
+    return SchedulerLine{t, util::format_torque(t) + ";0008;PBS_Server;Job;" +
+                                std::to_string(job.job_id) + ".sdb;" + payload};
+  };
+  lines.push_back(torque(job.start, "Job Run " + alloc_fields));
+  if (job.outcome == jobs::JobOutcome::Overallocated) {
+    lines.push_back(torque(job.start + util::Duration::seconds(30),
+                           "OverallocCnt=" + std::to_string(job.overallocated_nodes) +
+                               " allocated memory exceeds node capacity"));
+  }
+  if (job.outcome == jobs::JobOutcome::UserCancelled) {
+    lines.push_back(
+        torque(job.end - util::Duration::seconds(1), "Job deleted by user " + job.user));
+  }
+  lines.push_back(torque(job.end, "Exit_status=" + std::to_string(job.exit_code()) +
+                                      " Reason=" + std::string(to_string(job.outcome))));
+  lines.push_back(torque(job.end + util::Duration::seconds(5), "Epilogue complete"));
+  return lines;
+}
+
+}  // namespace hpcfail::loggen

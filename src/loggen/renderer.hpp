@@ -1,0 +1,68 @@
+// Renders structured records into raw log-file lines in the dialects of the
+// system being simulated, and whole jobs into scheduler-log line groups.
+//
+// Line grammars (all timestamps UTC):
+//   console     ISO_TS <nodename> [<cname>] kernel: <payload> [jobid=N]
+//   messages    SYSLOG_TS <nodename> nhc[pid]: <payload> [jobid=N]
+//   consumer    ISO_TS <nodename> [<cname>] hwerrd: <payload>
+//   controller  ISO_TS <cname> cc: <payload> [value=V]
+//   erd         ISO_TS erd ev=<event> src=<cname> [node=<nodename>] <detail>
+//   scheduler   Slurm:  ISO_TS slurmctld: <payload>
+//               Torque: MM/DD/YYYY HH:MM:SS;0008;PBS_Server;Job;<id>.sdb;<payload>
+//
+// The parsers in src/parsers invert these grammars exactly; the round-trip
+// property is tested in tests/roundtrip_test.cpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "jobs/job.hpp"
+#include "logmodel/record.hpp"
+#include "platform/system_config.hpp"
+#include "platform/topology.hpp"
+
+namespace hpcfail::loggen {
+
+class LogRenderer {
+ public:
+  LogRenderer(const platform::Topology& topo, platform::SchedulerKind scheduler);
+
+  /// Renders one record as a single line (no trailing newline). Scheduler-
+  /// source records are rendered via the job grammar without a node list;
+  /// prefer render_job_lines for jobs.
+  [[nodiscard]] std::string render(const logmodel::LogRecord& r) const;
+
+  /// One scheduler-log line with its event time (Torque timestamps do not
+  /// sort lexically, so the corpus writer sorts by this time).
+  struct SchedulerLine {
+    util::TimePoint time;
+    std::string text;
+  };
+
+  /// Renders the scheduler-log lines of a complete job (allocation, any
+  /// cancellation/over-allocation event, end, epilogue) in time order,
+  /// in the dialect of the system's scheduler.
+  [[nodiscard]] std::vector<SchedulerLine> render_job_lines(const jobs::Job& job) const;
+
+  [[nodiscard]] const platform::Topology& topology() const noexcept { return topo_; }
+
+ private:
+  [[nodiscard]] std::string console_line(const logmodel::LogRecord& r) const;
+  [[nodiscard]] std::string messages_line(const logmodel::LogRecord& r) const;
+  [[nodiscard]] std::string controller_line(const logmodel::LogRecord& r) const;
+  [[nodiscard]] std::string erd_line(const logmodel::LogRecord& r) const;
+  [[nodiscard]] std::string scheduler_line(const logmodel::LogRecord& r) const;
+
+  const platform::Topology& topo_;
+  platform::SchedulerKind scheduler_;
+};
+
+/// Kernel payload for an internal event type (shared with the consumer
+/// grammar). Exposed for tests.
+[[nodiscard]] std::string internal_payload(const logmodel::LogRecord& r);
+
+/// ERD event name for an external event type (e.g. "ec_node_failed").
+[[nodiscard]] std::string_view erd_event_name(logmodel::EventType t) noexcept;
+
+}  // namespace hpcfail::loggen

@@ -1,0 +1,204 @@
+#include "logmodel/event_type.hpp"
+
+#include <array>
+
+namespace hpcfail::logmodel {
+
+namespace {
+
+constexpr std::array<std::string_view, kEventTypeCount> kEventNames = {
+    "KernelPanic",
+    "KernelOops",
+    "MachineCheckException",
+    "HardwareError",
+    "CpuCorruption",
+    "CpuStall",
+    "BiosError",
+    "L0SysdMce",
+    "FirmwareBug",
+    "DriverBug",
+    "SegFault",
+    "InvalidOpcode",
+    "PageAllocationFailure",
+    "OomKill",
+    "HungTaskTimeout",
+    "CallTrace",
+    "LustreError",
+    "LustreBug",
+    "DvsError",
+    "InodeError",
+    "InterconnectError",
+    "NhcTestFail",
+    "AppExitAbnormal",
+    "NodeShutdown",
+    "NodeHalt",
+    "NodeBoot",
+    "NodeHeartbeatFault",
+    "NodeVoltageFault",
+    "BladeHeartbeatFault",
+    "EcHeartbeatStop",
+    "EcL0Failed",
+    "EcHwError",
+    "GetSensorReadingFailed",
+    "CabinetPowerFault",
+    "CabinetMicroFault",
+    "CommunicationFault",
+    "ModuleHealthFault",
+    "RpmFault",
+    "EcbFault",
+    "CabinetSensorCheck",
+    "LinkError",
+    "LaneDegrade",
+    "LinkFailover",
+    "LinkFailoverFailed",
+    "SedcTemperatureWarning",
+    "SedcVoltageWarning",
+    "SedcAirVelocityWarning",
+    "SedcFanSpeedWarning",
+    "SedcReading",
+    "JobStart",
+    "JobEnd",
+    "JobCancelled",
+    "JobOverallocation",
+    "EpilogueRun",
+    "NhcSuspectMode",
+};
+
+}  // namespace
+
+EventClass event_class(EventType t) noexcept {
+  const auto v = static_cast<std::uint8_t>(t);
+  if (v <= static_cast<std::uint8_t>(EventType::NodeBoot)) return EventClass::Internal;
+  if (v <= static_cast<std::uint8_t>(EventType::SedcReading)) return EventClass::External;
+  return EventClass::Job;
+}
+
+bool is_health_fault(EventType t) noexcept {
+  switch (t) {
+    case EventType::NodeHeartbeatFault:
+    case EventType::NodeVoltageFault:
+    case EventType::BladeHeartbeatFault:
+    case EventType::EcHeartbeatStop:
+    case EventType::EcL0Failed:
+    case EventType::EcHwError:
+    case EventType::GetSensorReadingFailed:
+    case EventType::CabinetPowerFault:
+    case EventType::CabinetMicroFault:
+    case EventType::CommunicationFault:
+    case EventType::ModuleHealthFault:
+    case EventType::RpmFault:
+    case EventType::LinkError:
+    case EventType::LinkFailoverFailed:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_sedc_warning(EventType t) noexcept {
+  switch (t) {
+    case EventType::SedcTemperatureWarning:
+    case EventType::SedcVoltageWarning:
+    case EventType::SedcAirVelocityWarning:
+    case EventType::SedcFanSpeedWarning:
+    case EventType::EcbFault:
+    case EventType::CabinetSensorCheck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_failure_marker(EventType t) noexcept {
+  switch (t) {
+    case EventType::KernelPanic:
+    case EventType::NodeShutdown:
+    case EventType::NodeHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_internal_indicator(EventType t) noexcept {
+  switch (t) {
+    case EventType::KernelOops:
+    case EventType::MachineCheckException:
+    case EventType::HardwareError:
+    case EventType::CpuCorruption:
+    case EventType::CpuStall:
+    case EventType::BiosError:
+    case EventType::L0SysdMce:
+    case EventType::FirmwareBug:
+    case EventType::DriverBug:
+    case EventType::SegFault:
+    case EventType::InvalidOpcode:
+    case EventType::PageAllocationFailure:
+    case EventType::OomKill:
+    case EventType::HungTaskTimeout:
+    case EventType::LustreError:
+    case EventType::LustreBug:
+    case EventType::DvsError:
+    case EventType::InodeError:
+    case EventType::InterconnectError:
+    case EventType::NhcTestFail:
+    case EventType::AppExitAbnormal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_external_indicator(EventType t) noexcept {
+  switch (t) {
+    // The paper's lead-time enhancement keys on ec_hw_errors, link errors,
+    // heartbeat/voltage faults and blade-level SEDC deviations that
+    // accompany fail-slow hardware (Section III-D).
+    case EventType::EcHwError:
+    case EventType::LinkError:
+    case EventType::NodeHeartbeatFault:
+    case EventType::NodeVoltageFault:
+    case EventType::SedcVoltageWarning:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view to_string(EventType t) noexcept {
+  const auto v = static_cast<std::size_t>(t);
+  return v < kEventNames.size() ? kEventNames[v] : std::string_view{"?"};
+}
+
+std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::Info: return "INFO";
+    case Severity::Warning: return "WARN";
+    case Severity::Error: return "ERROR";
+    case Severity::Critical: return "CRIT";
+    case Severity::Fatal: return "FATAL";
+  }
+  return "?";
+}
+
+std::string_view to_string(LogSource s) noexcept {
+  switch (s) {
+    case LogSource::Console: return "console";
+    case LogSource::Messages: return "messages";
+    case LogSource::Consumer: return "consumer";
+    case LogSource::Controller: return "controller";
+    case LogSource::Erd: return "erd";
+    case LogSource::Scheduler: return "scheduler";
+    case LogSource::kCount: break;
+  }
+  return "?";
+}
+
+std::optional<EventType> event_type_from_string(std::string_view s) noexcept {
+  for (std::size_t i = 0; i < kEventNames.size(); ++i) {
+    if (kEventNames[i] == s) return static_cast<EventType>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace hpcfail::logmodel

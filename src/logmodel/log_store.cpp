@@ -1,0 +1,122 @@
+#include "logmodel/log_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcfail::logmodel {
+
+namespace {
+bool time_less(const LogRecord& a, const LogRecord& b) noexcept { return a.time < b.time; }
+}  // namespace
+
+LogStore::LogStore(std::vector<LogRecord> records) : records_(std::move(records)) {
+  finalize();
+}
+
+void LogStore::add(LogRecord r) {
+  finalized_ = false;
+  records_.push_back(std::move(r));
+}
+
+void LogStore::finalize() {
+  if (finalized_) return;
+  std::stable_sort(records_.begin(), records_.end(), time_less);
+  by_node_.clear();
+  by_blade_.clear();
+  by_cabinet_.clear();
+  by_type_.assign(kEventTypeCount, {});
+  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+    const LogRecord& r = records_[i];
+    if (r.has_node()) by_node_[r.node.value].push_back(i);
+    if (r.has_blade()) by_blade_[r.blade.value].push_back(i);
+    if (r.has_cabinet()) by_cabinet_[r.cabinet.value].push_back(i);
+    by_type_[static_cast<std::size_t>(r.type)].push_back(i);
+  }
+  finalized_ = true;
+}
+
+util::TimePoint LogStore::first_time() const noexcept {
+  return records_.empty() ? util::TimePoint{} : records_.front().time;
+}
+
+util::TimePoint LogStore::last_time() const noexcept {
+  return records_.empty() ? util::TimePoint{} : records_.back().time;
+}
+
+std::span<const LogRecord> LogStore::range(util::TimePoint begin,
+                                           util::TimePoint end) const noexcept {
+  LogRecord probe;
+  probe.time = begin;
+  const auto lo = std::lower_bound(records_.begin(), records_.end(), probe, time_less);
+  probe.time = end;
+  const auto hi = std::lower_bound(lo, records_.end(), probe, time_less);
+  return {records_.data() + (lo - records_.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+std::vector<std::uint32_t> LogStore::filter_window(const std::vector<std::uint32_t>& index,
+                                                   util::TimePoint begin,
+                                                   util::TimePoint end) const {
+  // The index is time-ordered because records_ is; binary search on it.
+  const auto lo = std::lower_bound(index.begin(), index.end(), begin,
+                                   [this](std::uint32_t i, util::TimePoint t) {
+                                     return records_[i].time < t;
+                                   });
+  const auto hi = std::lower_bound(lo, index.end(), end,
+                                   [this](std::uint32_t i, util::TimePoint t) {
+                                     return records_[i].time < t;
+                                   });
+  return {lo, hi};
+}
+
+std::vector<std::uint32_t> LogStore::node_range(platform::NodeId node, util::TimePoint begin,
+                                                util::TimePoint end) const {
+  const auto it = by_node_.find(node.value);
+  if (it == by_node_.end()) return {};
+  return filter_window(it->second, begin, end);
+}
+
+std::vector<std::uint32_t> LogStore::blade_range(platform::BladeId blade, util::TimePoint begin,
+                                                 util::TimePoint end) const {
+  const auto it = by_blade_.find(blade.value);
+  if (it == by_blade_.end()) return {};
+  return filter_window(it->second, begin, end);
+}
+
+std::vector<std::uint32_t> LogStore::cabinet_range(platform::CabinetId cabinet,
+                                                   util::TimePoint begin,
+                                                   util::TimePoint end) const {
+  const auto it = by_cabinet_.find(cabinet.value);
+  if (it == by_cabinet_.end()) return {};
+  return filter_window(it->second, begin, end);
+}
+
+std::vector<std::uint32_t> LogStore::type_range(EventType type, util::TimePoint begin,
+                                                util::TimePoint end) const {
+  return filter_window(by_type_[static_cast<std::size_t>(type)], begin, end);
+}
+
+std::size_t LogStore::count_of_type(EventType type) const noexcept {
+  return by_type_.empty() ? 0 : by_type_[static_cast<std::size_t>(type)].size();
+}
+
+std::span<const std::uint32_t> LogStore::node_index(platform::NodeId node) const noexcept {
+  const auto it = by_node_.find(node.value);
+  if (it == by_node_.end()) return {};
+  return it->second;
+}
+
+std::span<const std::uint32_t> LogStore::type_index(EventType type) const noexcept {
+  if (by_type_.empty()) return {};
+  return by_type_[static_cast<std::size_t>(type)];
+}
+
+std::vector<platform::NodeId> LogStore::nodes() const {
+  std::vector<platform::NodeId> out;
+  out.reserve(by_node_.size());
+  for (const auto& [id, _] : by_node_) out.push_back(platform::NodeId{id});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hpcfail::logmodel

@@ -1,0 +1,86 @@
+// Time-sorted in-memory store of structured log records with secondary
+// indexes by node, blade and event type.  Range queries are binary-searched;
+// the per-key indexes keep the correlation passes (which repeatedly ask
+// "events of type T for node N in window W") sub-linear.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "logmodel/record.hpp"
+
+namespace hpcfail::logmodel {
+
+class LogStore {
+ public:
+  LogStore() = default;
+
+  /// Takes ownership of the records, sorts by time and builds indexes.
+  explicit LogStore(std::vector<LogRecord> records);
+
+  void add(LogRecord r);
+
+  /// Sorts and (re)builds indexes. Must be called after the last add()
+  /// and before any query. Idempotent.
+  void finalize();
+
+  [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const LogRecord& operator[](std::size_t i) const noexcept { return records_[i]; }
+  [[nodiscard]] const std::vector<LogRecord>& records() const noexcept { return records_; }
+
+  [[nodiscard]] util::TimePoint first_time() const noexcept;
+  [[nodiscard]] util::TimePoint last_time() const noexcept;
+
+  /// All records with begin <= time < end, as a contiguous span.
+  [[nodiscard]] std::span<const LogRecord> range(util::TimePoint begin,
+                                                 util::TimePoint end) const noexcept;
+
+  /// Indexes (into records()) of this node's records within [begin, end).
+  [[nodiscard]] std::vector<std::uint32_t> node_range(platform::NodeId node,
+                                                      util::TimePoint begin,
+                                                      util::TimePoint end) const;
+
+  /// Indexes of this blade's records (records carrying that blade id,
+  /// including node-scoped records resolved to the blade) within [begin, end).
+  [[nodiscard]] std::vector<std::uint32_t> blade_range(platform::BladeId blade,
+                                                       util::TimePoint begin,
+                                                       util::TimePoint end) const;
+
+  /// Indexes of this cabinet's records within [begin, end).
+  [[nodiscard]] std::vector<std::uint32_t> cabinet_range(platform::CabinetId cabinet,
+                                                         util::TimePoint begin,
+                                                         util::TimePoint end) const;
+
+  /// Indexes of records of `type` within [begin, end).
+  [[nodiscard]] std::vector<std::uint32_t> type_range(EventType type, util::TimePoint begin,
+                                                      util::TimePoint end) const;
+
+  /// Total count of records of `type`.
+  [[nodiscard]] std::size_t count_of_type(EventType type) const noexcept;
+
+  /// All record indexes for a node (time-ordered).
+  [[nodiscard]] std::span<const std::uint32_t> node_index(platform::NodeId node) const noexcept;
+
+  /// All record indexes for an event type (time-ordered).
+  [[nodiscard]] std::span<const std::uint32_t> type_index(EventType type) const noexcept;
+
+  /// Distinct node ids appearing in the store.
+  [[nodiscard]] std::vector<platform::NodeId> nodes() const;
+
+ private:
+  [[nodiscard]] std::vector<std::uint32_t> filter_window(
+      const std::vector<std::uint32_t>& index, util::TimePoint begin,
+      util::TimePoint end) const;
+
+  std::vector<LogRecord> records_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_node_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_blade_;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_cabinet_;
+  std::vector<std::vector<std::uint32_t>> by_type_;
+  bool finalized_ = false;
+};
+
+}  // namespace hpcfail::logmodel

@@ -1,0 +1,37 @@
+// The structured log record every parser produces and every analyzer
+// consumes.  A record is a flat, value-type row: timestamp, source, event
+// type, severity, location (node/blade/cabinet, any may be absent), an
+// optional job id, an optional numeric value (sensor reading, exit code)
+// and a short detail string (stack module, reason, sensor name).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "logmodel/event_type.hpp"
+#include "platform/ids.hpp"
+#include "util/time.hpp"
+
+namespace hpcfail::logmodel {
+
+inline constexpr std::int64_t kNoJob = -1;
+
+struct LogRecord {
+  util::TimePoint time;
+  LogSource source = LogSource::Console;
+  EventType type = EventType::NodeBoot;
+  Severity severity = Severity::Info;
+  platform::NodeId node;        ///< invalid when the event is blade/cabinet scoped
+  platform::BladeId blade;      ///< invalid when unknown
+  platform::CabinetId cabinet;  ///< invalid when unknown
+  std::int64_t job_id = kNoJob;
+  double value = 0.0;           ///< sensor reading / exit code / count
+  std::string detail;           ///< module name, reason, sensor label, ...
+
+  [[nodiscard]] bool has_node() const noexcept { return node.valid(); }
+  [[nodiscard]] bool has_blade() const noexcept { return blade.valid(); }
+  [[nodiscard]] bool has_cabinet() const noexcept { return cabinet.valid(); }
+  [[nodiscard]] bool has_job() const noexcept { return job_id != kNoJob; }
+};
+
+}  // namespace hpcfail::logmodel

@@ -1,0 +1,110 @@
+#include "parsers/corpus_parser.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "parsers/source_parsers.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace hpcfail::parsers {
+
+using logmodel::LogRecord;
+using logmodel::LogSource;
+
+namespace {
+
+std::vector<std::string_view> split_lines(const std::string& text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) lines.push_back(std::string_view(text).substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+ParsedCorpus parse_corpus(const loggen::Corpus& corpus, util::ThreadPool* pool) {
+  ParsedCorpus out{corpus.system, platform::Topology{corpus.system.topology},
+                   {}, {}, 0, 0, 0};
+  util::ThreadPool& workers = pool != nullptr ? *pool : util::default_pool();
+
+  const ParseContext ctx{&out.topology, util::civil_time(corpus.begin).year};
+
+  struct SourceJob {
+    LogSource source;
+    std::optional<LogRecord> (*parse)(std::string_view, const ParseContext&);
+  };
+  const SourceJob source_jobs[] = {
+      {LogSource::Console, &parse_console_line},
+      {LogSource::Consumer, &parse_console_line},
+      {LogSource::Messages, &parse_messages_line},
+      {LogSource::Controller, &parse_controller_line},
+      {LogSource::Erd, &parse_erd_line},
+  };
+
+  std::vector<LogRecord> records;
+  std::atomic<std::size_t> skipped{0};
+
+  for (const auto& job : source_jobs) {
+    const std::string& text = corpus.of(job.source);
+    if (text.empty()) continue;
+    const auto lines = split_lines(text);
+    out.total_lines += lines.size();
+
+    // Shard the line range; each shard fills its own vector, merged in
+    // order afterwards (the store re-sorts by time anyway).
+    const std::size_t shards = std::max<std::size_t>(1, workers.size() * 2);
+    const std::size_t chunk = std::max<std::size_t>(1, (lines.size() + shards - 1) / shards);
+    std::vector<std::vector<LogRecord>> shard_records((lines.size() + chunk - 1) / chunk);
+    workers.parallel_for_ranges(
+        shard_records.size(), [&](std::size_t begin_shard, std::size_t end_shard) {
+          for (std::size_t s = begin_shard; s < end_shard; ++s) {
+            const std::size_t lo = s * chunk;
+            const std::size_t hi = std::min(lines.size(), lo + chunk);
+            std::size_t local_skipped = 0;
+            auto& sink = shard_records[s];
+            sink.reserve(hi - lo);
+            for (std::size_t i = lo; i < hi; ++i) {
+              if (auto record = job.parse(lines[i], ctx)) {
+                sink.push_back(std::move(*record));
+              } else {
+                ++local_skipped;
+              }
+            }
+            skipped.fetch_add(local_skipped, std::memory_order_relaxed);
+          }
+        });
+    for (auto& shard : shard_records) {
+      records.insert(records.end(), std::make_move_iterator(shard.begin()),
+                     std::make_move_iterator(shard.end()));
+    }
+  }
+
+  // Scheduler log: sequential, stateful.
+  {
+    const std::string& text = corpus.of(LogSource::Scheduler);
+    const auto lines = split_lines(text);
+    out.total_lines += lines.size();
+    SchedulerLogParser sched(ctx, out.jobs);
+    for (const auto line : lines) {
+      if (auto record = sched.parse_line(line)) {
+        records.push_back(std::move(*record));
+      } else {
+        skipped.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    out.jobs.finalize();
+  }
+
+  out.skipped_lines = skipped.load();
+  out.parsed_records = records.size();
+  out.store = logmodel::LogStore{std::move(records)};
+  return out;
+}
+
+}  // namespace hpcfail::parsers

@@ -1,0 +1,33 @@
+// Whole-corpus ingestion: raw text of all sources -> finalized LogStore +
+// JobTable.  Non-scheduler sources are parsed in parallel on the shared
+// thread pool (each shard parses a contiguous line range); the scheduler
+// log is parsed sequentially because its lines mutate the JobTable in
+// order.  Malformed or irrelevant lines are counted, never fatal.
+#pragma once
+
+#include <cstddef>
+
+#include "jobs/job_table.hpp"
+#include "loggen/corpus.hpp"
+#include "logmodel/log_store.hpp"
+#include "platform/topology.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpcfail::parsers {
+
+struct ParsedCorpus {
+  platform::SystemConfig system;
+  platform::Topology topology;
+  logmodel::LogStore store;
+  jobs::JobTable jobs;
+  std::size_t total_lines = 0;
+  std::size_t parsed_records = 0;
+  std::size_t skipped_lines = 0;  ///< malformed or not fault-relevant
+};
+
+/// Parses every source of the corpus. When `pool` is null the shared
+/// default pool is used; pass a 1-thread pool for fully serial parsing.
+[[nodiscard]] ParsedCorpus parse_corpus(const loggen::Corpus& corpus,
+                                        util::ThreadPool* pool = nullptr);
+
+}  // namespace hpcfail::parsers

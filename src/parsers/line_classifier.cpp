@@ -1,0 +1,205 @@
+#include "parsers/line_classifier.hpp"
+
+#include "util/strings.hpp"
+
+namespace hpcfail::parsers {
+
+using logmodel::EventType;
+using logmodel::Severity;
+using util::contains;
+using util::starts_with;
+
+namespace {
+
+/// Remainder after "<signature>" (and an optional ": ").
+std::string_view after(std::string_view payload, std::string_view signature) noexcept {
+  const auto pos = payload.find(signature);
+  if (pos == std::string_view::npos) return {};
+  std::string_view rest = payload.substr(pos + signature.size());
+  if (starts_with(rest, ": ")) rest.remove_prefix(2);
+  return util::trim(rest);
+}
+
+}  // namespace
+
+std::optional<std::string_view> call_trace_module(std::string_view payload) noexcept {
+  // " [<ffffffff81234567>] module+0x1a2/0x400"
+  const auto close = payload.find(">] ");
+  if (close == std::string_view::npos) return std::nullopt;
+  std::string_view rest = payload.substr(close + 3);
+  const auto plus = rest.find('+');
+  if (plus == std::string_view::npos || plus == 0) return std::nullopt;
+  return rest.substr(0, plus);
+}
+
+std::optional<Classified> classify_kernel_payload(std::string_view payload) noexcept {
+  // Order matters: more specific signatures first.
+  if (contains(payload, "Kernel panic - not syncing")) {
+    return Classified{EventType::KernelPanic, Severity::Fatal,
+                      after(payload, "not syncing:")};
+  }
+  if (contains(payload, "LBUG")) {
+    return Classified{EventType::LustreBug, Severity::Critical,
+                      after(payload, "ASSERTION failed:")};
+  }
+  if (contains(payload, "LustreError")) {
+    return Classified{EventType::LustreError, Severity::Error, after(payload, "11-0:")};
+  }
+  if (contains(payload, "processor context corrupt")) {
+    return Classified{EventType::CpuCorruption, Severity::Critical,
+                      after(payload, "corrupt:")};
+  }
+  if (contains(payload, "Machine check")) {
+    return Classified{EventType::MachineCheckException, Severity::Critical,
+                      after(payload, "logged:")};
+  }
+  if (contains(payload, "EDAC")) {
+    return Classified{EventType::HardwareError, Severity::Error, after(payload, "MC0:")};
+  }
+  if (contains(payload, "rcu_sched self-detected stall")) {
+    return Classified{EventType::CpuStall, Severity::Error, after(payload, "CPU:")};
+  }
+  if (starts_with(payload, "HEST:")) {
+    return Classified{EventType::BiosError, Severity::Error, after(payload, "HEST:")};
+  }
+  if (contains(payload, "[Firmware Bug]")) {
+    return Classified{EventType::FirmwareBug, Severity::Error,
+                      after(payload, "[Firmware Bug]:")};
+  }
+  if (contains(payload, "driver bug")) {
+    return Classified{EventType::DriverBug, Severity::Error, after(payload, "driver bug:")};
+  }
+  if (contains(payload, "segfault at")) {
+    return Classified{EventType::SegFault, Severity::Error, after(payload, "err 4:")};
+  }
+  if (contains(payload, "invalid opcode")) {
+    return Classified{EventType::InvalidOpcode, Severity::Error, after(payload, "SMP:")};
+  }
+  if (contains(payload, "page allocation failure")) {
+    // Rendered as "<detail>, mode:0x4020" with the signature inside detail.
+    std::string_view d = payload;
+    const auto comma = d.rfind(", mode:");
+    if (comma != std::string_view::npos) d = d.substr(0, comma);
+    return Classified{EventType::PageAllocationFailure, Severity::Error, util::trim(d)};
+  }
+  if (contains(payload, "Out of memory")) {
+    std::string_view d = payload;
+    const auto score = d.rfind(" score ");
+    if (score != std::string_view::npos) d = d.substr(0, score);
+    return Classified{EventType::OomKill, Severity::Critical, util::trim(d)};
+  }
+  if (contains(payload, "blocked for more than")) {
+    return Classified{EventType::HungTaskTimeout, Severity::Warning,
+                      after(payload, "seconds:")};
+  }
+  if (contains(payload, "unable to handle kernel paging request")) {
+    return Classified{EventType::KernelOops, Severity::Critical, std::string_view{}};
+  }
+  if (const auto module = call_trace_module(payload)) {
+    return Classified{EventType::CallTrace, Severity::Error, *module};
+  }
+  if (starts_with(payload, "DVS:")) {
+    return Classified{EventType::DvsError, Severity::Error, after(payload, "DVS:")};
+  }
+  if (contains(payload, "bad inode")) {
+    return Classified{EventType::InodeError, Severity::Error, after(payload, "bad inode:")};
+  }
+  if (contains(payload, "link error detected")) {
+    return Classified{EventType::InterconnectError, Severity::Error,
+                      after(payload, "detected:")};
+  }
+  if (contains(payload, "Shutdown: system going down")) {
+    return Classified{EventType::NodeShutdown, Severity::Fatal,
+                      after(payload, "going down:")};
+  }
+  if (contains(payload, "System halted")) {
+    return Classified{EventType::NodeHalt, Severity::Fatal, after(payload, "halted:")};
+  }
+  if (contains(payload, "Booting Linux")) {
+    return Classified{EventType::NodeBoot, Severity::Info, after(payload, "0x0:")};
+  }
+  return std::nullopt;
+}
+
+std::optional<Classified> classify_nhc_payload(std::string_view payload) noexcept {
+  if (contains(payload, "abnormal")) {
+    return Classified{EventType::AppExitAbnormal, Severity::Error, util::trim(payload)};
+  }
+  if (contains(payload, "suspect mode")) {
+    return Classified{EventType::NhcSuspectMode, Severity::Warning, util::trim(payload)};
+  }
+  if (contains(payload, "NHC:")) {
+    return Classified{EventType::NhcTestFail, Severity::Error, util::trim(payload)};
+  }
+  return std::nullopt;
+}
+
+std::optional<Classified> classify_controller_payload(std::string_view payload) noexcept {
+  if (contains(payload, "ec_sedc_warning")) {
+    if (contains(payload, "CPU_TEMP")) {
+      return Classified{EventType::SedcTemperatureWarning, Severity::Warning, payload};
+    }
+    if (contains(payload, "VDD")) {
+      return Classified{EventType::SedcVoltageWarning, Severity::Warning, payload};
+    }
+    if (contains(payload, "AIR_VEL")) {
+      return Classified{EventType::SedcAirVelocityWarning, Severity::Warning, payload};
+    }
+    return Classified{EventType::SedcTemperatureWarning, Severity::Warning, payload};
+  }
+  if (contains(payload, "ec_environment")) {
+    return Classified{EventType::SedcFanSpeedWarning, Severity::Warning, payload};
+  }
+  if (starts_with(payload, "sedc:")) {
+    return Classified{EventType::SedcReading, Severity::Info, after(payload, "sedc:")};
+  }
+  if (contains(payload, "L0_sysd_mce")) {
+    return Classified{EventType::L0SysdMce, Severity::Error,
+                      after(payload, "L0_sysd_mce:")};
+  }
+  if (contains(payload, "cabinet power fault")) {
+    return Classified{EventType::CabinetPowerFault, Severity::Warning, payload};
+  }
+  if (contains(payload, "micro controller fault")) {
+    return Classified{EventType::CabinetMicroFault, Severity::Warning, payload};
+  }
+  if (contains(payload, "communication fault")) {
+    return Classified{EventType::CommunicationFault, Severity::Warning, payload};
+  }
+  if (contains(payload, "module health fault")) {
+    return Classified{EventType::ModuleHealthFault, Severity::Warning, payload};
+  }
+  if (contains(payload, "RPM fault")) {
+    return Classified{EventType::RpmFault, Severity::Warning, payload};
+  }
+  if (contains(payload, "ECB fault")) {
+    return Classified{EventType::EcbFault, Severity::Warning, payload};
+  }
+  if (contains(payload, "sensor check failed")) {
+    return Classified{EventType::CabinetSensorCheck, Severity::Warning, payload};
+  }
+  if (contains(payload, "get sensor reading failed")) {
+    return Classified{EventType::GetSensorReadingFailed, Severity::Warning, payload};
+  }
+  if (contains(payload, "bc heartbeat fault")) {
+    return Classified{EventType::BladeHeartbeatFault, Severity::Warning, payload};
+  }
+  return std::nullopt;
+}
+
+std::optional<EventType> erd_event_type(std::string_view name) noexcept {
+  if (name == "ec_node_failed") return EventType::NodeHeartbeatFault;
+  if (name == "ec_node_voltage_fault") return EventType::NodeVoltageFault;
+  if (name == "ec_bc_heartbeat_fault") return EventType::BladeHeartbeatFault;
+  if (name == "ec_heartbeat_stop") return EventType::EcHeartbeatStop;
+  if (name == "ec_l0_failed") return EventType::EcL0Failed;
+  if (name == "ec_hw_error") return EventType::EcHwError;
+  if (name == "ec_link_error") return EventType::LinkError;
+  if (name == "ec_lane_degrade") return EventType::LaneDegrade;
+  if (name == "ec_link_failover") return EventType::LinkFailover;
+  if (name == "ec_failover_failed") return EventType::LinkFailoverFailed;
+  if (name == "ec_get_sensor_failed") return EventType::GetSensorReadingFailed;
+  return std::nullopt;
+}
+
+}  // namespace hpcfail::parsers

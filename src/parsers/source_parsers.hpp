@@ -1,0 +1,58 @@
+// Per-line parsers for each raw log source; exact inverses of the grammars
+// in loggen/renderer.cpp.  Every parser is total: any malformed line yields
+// nullopt, never an exception (the property suite fuzzes this).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "jobs/job_table.hpp"
+#include "logmodel/record.hpp"
+#include "platform/topology.hpp"
+
+namespace hpcfail::parsers {
+
+struct ParseContext {
+  const platform::Topology* topo = nullptr;
+  /// Year assumed for syslog timestamps (they carry none).
+  int base_year = 1970;
+};
+
+/// console / consumer: ISO_TS <nodename> [<cname>] (kernel|hwerrd): <payload>
+[[nodiscard]] std::optional<logmodel::LogRecord> parse_console_line(
+    std::string_view line, const ParseContext& ctx) noexcept;
+
+/// messages: SYSLOG_TS <nodename> nhc[pid]: <payload>
+[[nodiscard]] std::optional<logmodel::LogRecord> parse_messages_line(
+    std::string_view line, const ParseContext& ctx) noexcept;
+
+/// controller: ISO_TS <cname> cc: <payload>
+[[nodiscard]] std::optional<logmodel::LogRecord> parse_controller_line(
+    std::string_view line, const ParseContext& ctx) noexcept;
+
+/// erd: ISO_TS erd ev=<event> src=<cname> [node=<nodename>] <detail>
+[[nodiscard]] std::optional<logmodel::LogRecord> parse_erd_line(
+    std::string_view line, const ParseContext& ctx) noexcept;
+
+/// Stateful scheduler-log parser: emits records and incrementally fills a
+/// JobTable (allocations, ends, cancellations, over-allocation marks).
+class SchedulerLogParser {
+ public:
+  SchedulerLogParser(const ParseContext& ctx, jobs::JobTable& table)
+      : ctx_(ctx), table_(table) {}
+
+  /// Parses one line (Slurm or Torque dialect, auto-detected); updates the
+  /// table as a side effect.
+  [[nodiscard]] std::optional<logmodel::LogRecord> parse_line(std::string_view line);
+
+ private:
+  [[nodiscard]] std::optional<logmodel::LogRecord> parse_torque_line(std::string_view line);
+  [[nodiscard]] std::optional<logmodel::LogRecord> register_allocation(
+      std::string_view payload, std::int64_t job_id, util::TimePoint time,
+      logmodel::LogRecord r);
+
+  ParseContext ctx_;
+  jobs::JobTable& table_;
+};
+
+}  // namespace hpcfail::parsers

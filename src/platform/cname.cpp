@@ -1,0 +1,112 @@
+#include "platform/cname.hpp"
+
+#include <cstdio>
+
+namespace hpcfail::platform {
+
+namespace {
+
+/// Consumes a non-negative decimal integer (max 6 digits) at `pos`.
+bool consume_int(std::string_view s, std::size_t& pos, int& out) noexcept {
+  std::size_t digits = 0;
+  int value = 0;
+  while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9' && digits < 6) {
+    value = value * 10 + (s[pos] - '0');
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+Cname Cname::truncated(CnameLevel lvl) const noexcept {
+  Cname out = *this;
+  if (lvl < CnameLevel::Node) out.node = -1;
+  if (lvl < CnameLevel::Blade) out.slot = -1;
+  if (lvl < CnameLevel::Chassis) out.chassis = -1;
+  return out;
+}
+
+std::string Cname::to_string() const {
+  char buf[48];
+  switch (level()) {
+    case CnameLevel::Cabinet:
+      std::snprintf(buf, sizeof buf, "c%d-%d", cab_x, cab_y);
+      break;
+    case CnameLevel::Chassis:
+      std::snprintf(buf, sizeof buf, "c%d-%dc%d", cab_x, cab_y, chassis);
+      break;
+    case CnameLevel::Blade:
+      std::snprintf(buf, sizeof buf, "c%d-%dc%ds%d", cab_x, cab_y, chassis, slot);
+      break;
+    case CnameLevel::Node:
+      std::snprintf(buf, sizeof buf, "c%d-%dc%ds%dn%d", cab_x, cab_y, chassis, slot, node);
+      break;
+  }
+  return buf;
+}
+
+std::optional<Cname> parse_cname(std::string_view s) noexcept {
+  Cname c;
+  std::size_t pos = 0;
+  if (pos >= s.size() || s[pos] != 'c') return std::nullopt;
+  ++pos;
+  if (!consume_int(s, pos, c.cab_x)) return std::nullopt;
+  if (pos >= s.size() || s[pos] != '-') return std::nullopt;
+  ++pos;
+  if (!consume_int(s, pos, c.cab_y)) return std::nullopt;
+  if (pos == s.size()) return c;  // cabinet
+
+  if (s[pos] != 'c') return std::nullopt;
+  ++pos;
+  if (!consume_int(s, pos, c.chassis)) return std::nullopt;
+  if (pos == s.size()) return c;  // chassis
+
+  if (s[pos] != 's') return std::nullopt;
+  ++pos;
+  if (!consume_int(s, pos, c.slot)) return std::nullopt;
+  if (pos == s.size()) return c;  // blade
+
+  if (s[pos] != 'n') return std::nullopt;
+  ++pos;
+  if (!consume_int(s, pos, c.node)) return std::nullopt;
+  if (pos != s.size()) return std::nullopt;
+  return c;  // node
+}
+
+std::string format_nid(std::uint32_t node_index) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "nid%05u", node_index);
+  return buf;
+}
+
+std::optional<std::uint32_t> parse_nid(std::string_view s) noexcept {
+  if (s.size() < 6 || s.size() > 11 || s.substr(0, 3) != "nid") return std::nullopt;
+  std::uint32_t value = 0;
+  for (char ch : s.substr(3)) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint32_t>(ch - '0');
+  }
+  return value;
+}
+
+std::string format_hostname(std::uint32_t node_index) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "node%04u", node_index);
+  return buf;
+}
+
+std::optional<std::uint32_t> parse_hostname(std::string_view s) noexcept {
+  if (s.size() < 5 || s.size() > 12 || s.substr(0, 4) != "node") return std::nullopt;
+  std::uint32_t value = 0;
+  for (char ch : s.substr(4)) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint32_t>(ch - '0');
+  }
+  return value;
+}
+
+}  // namespace hpcfail::platform

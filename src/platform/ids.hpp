@@ -1,0 +1,46 @@
+// Strong identifier types for the machine hierarchy.
+//
+// A node is addressed three ways, mirroring real Cray systems:
+//   - dense index (NodeId) used internally and as the "nid" (nid00042),
+//   - physical cname (c1-0c2s7n3) carried by controller/ERD logs,
+//   - hostname (node0042) used by the institutional cluster S5.
+// Strong types prevent mixing node/blade/cabinet indexes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace hpcfail::platform {
+
+template <typename Tag>
+struct Id {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return value != kInvalid; }
+  constexpr auto operator<=>(const Id&) const = default;
+};
+
+struct NodeTag {};
+struct BladeTag {};
+struct ChassisTag {};
+struct CabinetTag {};
+
+using NodeId = Id<NodeTag>;
+using BladeId = Id<BladeTag>;
+using ChassisId = Id<ChassisTag>;
+using CabinetId = Id<CabinetTag>;
+
+}  // namespace hpcfail::platform
+
+template <typename Tag>
+struct std::hash<hpcfail::platform::Id<Tag>> {
+  std::size_t operator()(const hpcfail::platform::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

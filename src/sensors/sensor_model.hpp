@@ -1,0 +1,101 @@
+// SEDC (System Environmental Data Collections) sensor simulation.
+//
+// Each blade carries temperature / voltage / fan-speed / air-velocity
+// sensors modelled as mean-reverting Ornstein-Uhlenbeck processes.  The
+// cabinet controller samples them periodically and emits ec_sedc_warnings
+// when a reading leaves its allowed band — exactly the signal population
+// the paper shows to be mostly benign (Figs 8-11, Observation 3).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace hpcfail::sensors {
+
+enum class SensorKind : std::uint8_t {
+  CpuTemperature,  ///< deg C, nominal ~40
+  Voltage,         ///< V, nominal ~12
+  FanSpeed,        ///< RPM, nominal ~3000
+  AirVelocity,     ///< m/s, nominal ~2.5
+  kCount
+};
+
+inline constexpr std::size_t kSensorKindCount = static_cast<std::size_t>(SensorKind::kCount);
+
+[[nodiscard]] std::string_view to_string(SensorKind k) noexcept;
+
+/// Mean-reverting process: dX = reversion * (mean - X) dt + sigma dW.
+struct OuProcess {
+  double mean = 0.0;
+  double reversion = 0.1;  ///< per-minute pull toward the mean
+  double sigma = 1.0;      ///< per-sqrt(minute) diffusion
+  double value = 0.0;
+
+  /// Advances by dt_minutes using exact OU discretization.
+  double step(util::Rng& rng, double dt_minutes) noexcept;
+};
+
+struct SensorSpec {
+  SensorKind kind = SensorKind::CpuTemperature;
+  double nominal = 0.0;
+  double sigma = 1.0;
+  double reversion = 0.2;
+  double warn_low = 0.0;   ///< below: SEDC low warning
+  double warn_high = 0.0;  ///< above: SEDC high warning
+};
+
+/// Paper-calibrated default spec per sensor kind (temperature ~40 C steady,
+/// per Fig 11).
+[[nodiscard]] SensorSpec default_spec(SensorKind kind) noexcept;
+
+/// The sensors of one blade. Blades can be healthy, "deviant" (persistent
+/// benign threshold violations, the Fig 9 warning storms) or powered off.
+class BladeSensors {
+ public:
+  BladeSensors() = default;
+  BladeSensors(util::Rng rng, bool deviant);
+
+  /// Advances all sensors by dt_minutes and returns the new readings.
+  void step(double dt_minutes) noexcept;
+
+  [[nodiscard]] double reading(SensorKind k) const noexcept {
+    return powered_off_ ? 0.0 : state_[static_cast<std::size_t>(k)].value;
+  }
+
+  /// True when the current reading is outside [warn_low, warn_high].
+  [[nodiscard]] bool violates(SensorKind k) const noexcept;
+
+  void set_powered_off(bool off) noexcept { powered_off_ = off; }
+  [[nodiscard]] bool powered_off() const noexcept { return powered_off_; }
+  [[nodiscard]] bool deviant() const noexcept { return deviant_; }
+
+  [[nodiscard]] const SensorSpec& spec(SensorKind k) const noexcept {
+    return specs_[static_cast<std::size_t>(k)];
+  }
+
+ private:
+  util::Rng rng_{};
+  std::array<SensorSpec, kSensorKindCount> specs_{};
+  std::array<OuProcess, kSensorKindCount> state_{};
+  bool deviant_ = false;
+  bool powered_off_ = false;
+};
+
+/// Degradation ramp applied to fail-slow hardware: over the ramp window the
+/// affected metric drifts linearly from its nominal value toward
+/// `terminal_offset` away from nominal.  Used to raise voltage-fault and
+/// ec_hw_error emission rates ahead of the eventual failure (Section III-D).
+struct FailSlowRamp {
+  double start_minute = 0.0;   ///< simulation minute the drift begins
+  double duration_min = 60.0;  ///< ramp length
+  double terminal_offset = 0.0;
+
+  /// Offset to add at simulation minute `t`; 0 before the ramp, clamped to
+  /// terminal_offset after it completes.
+  [[nodiscard]] double offset_at(double t) const noexcept;
+};
+
+}  // namespace hpcfail::sensors

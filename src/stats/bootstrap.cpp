@@ -1,0 +1,49 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+
+namespace hpcfail::stats {
+
+BootstrapResult bootstrap_ci(std::span<const double> sample,
+                             const std::function<double(std::span<const double>)>& statistic,
+                             std::size_t resamples, double confidence, util::Rng rng) {
+  BootstrapResult result;
+  if (sample.empty()) return result;
+  result.point = statistic(sample);
+  if (sample.size() == 1 || resamples == 0) {
+    result.lo = result.hi = result.point;
+    return result;
+  }
+  std::vector<double> resample(sample.size());
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  const auto n = static_cast<std::int64_t>(sample.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (auto& x : resample) {
+      x = sample[static_cast<std::size_t>(rng.uniform_int(0, n - 1))];
+    }
+    stats.push_back(statistic(resample));
+  }
+  const Ecdf dist{stats};
+  const double alpha = (1.0 - confidence) / 2.0;
+  result.lo = dist.quantile(alpha);
+  result.hi = dist.quantile(1.0 - alpha);
+  return result;
+}
+
+BootstrapResult bootstrap_mean_ci(std::span<const double> sample, std::size_t resamples,
+                                  double confidence, util::Rng rng) {
+  return bootstrap_ci(
+      sample,
+      [](std::span<const double> s) {
+        double sum = 0.0;
+        for (double x : s) sum += x;
+        return s.empty() ? 0.0 : sum / static_cast<double>(s.size());
+      },
+      resamples, confidence, rng);
+}
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,32 @@
+// Nonparametric bootstrap confidence intervals.  The paper quotes means with
+// error terms (e.g. MTBF 1.5 +/- 0.56 min); the benches attach bootstrap CIs
+// to the measured equivalents.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "util/rng.hpp"
+
+namespace hpcfail::stats {
+
+struct BootstrapResult {
+  double point = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+};
+
+/// Percentile bootstrap for an arbitrary statistic.
+/// `confidence` in (0, 1), e.g. 0.95.
+[[nodiscard]] BootstrapResult bootstrap_ci(
+    std::span<const double> sample,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::size_t resamples = 1000, double confidence = 0.95,
+    util::Rng rng = util::Rng{0x9e3779b97f4a7c15ULL});
+
+/// Bootstrap CI of the mean.
+[[nodiscard]] BootstrapResult bootstrap_mean_ci(
+    std::span<const double> sample, std::size_t resamples = 1000,
+    double confidence = 0.95, util::Rng rng = util::Rng{0x9e3779b97f4a7c15ULL});
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,152 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hpcfail::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) noexcept {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2 || x.size() != y.size()) return 0.0;
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+std::vector<double> mid_ranks(std::span<const double> v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&v](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const auto rx = mid_ranks(x);
+  const auto ry = mid_ranks(y);
+  return pearson(rx, ry);
+}
+
+ContingencyTable::ContingencyTable(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), cells_(rows * cols, 0) {
+  if (rows < 2 || cols < 2) throw std::invalid_argument("ContingencyTable: need >=2x2");
+}
+
+void ContingencyTable::add(std::size_t row, std::size_t col, std::uint64_t n) {
+  if (row >= rows_ || col >= cols_) throw std::out_of_range("ContingencyTable::add");
+  cells_[row * cols_ + col] += n;
+  total_ += n;
+}
+
+std::uint64_t ContingencyTable::row_total(std::size_t row) const noexcept {
+  std::uint64_t s = 0;
+  for (std::size_t c = 0; c < cols_; ++c) s += at(row, c);
+  return s;
+}
+
+std::uint64_t ContingencyTable::col_total(std::size_t col) const noexcept {
+  std::uint64_t s = 0;
+  for (std::size_t r = 0; r < rows_; ++r) s += at(r, col);
+  return s;
+}
+
+double ContingencyTable::chi_square() const noexcept {
+  if (total_ == 0) return 0.0;
+  double stat = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double rt = static_cast<double>(row_total(r));
+    if (rt == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double ct = static_cast<double>(col_total(c));
+      if (ct == 0.0) continue;
+      const double expected = rt * ct / static_cast<double>(total_);
+      const double diff = static_cast<double>(at(r, c)) - expected;
+      stat += diff * diff / expected;
+    }
+  }
+  return stat;
+}
+
+double ContingencyTable::p_value() const noexcept { return chi_square_sf(chi_square(), dof()); }
+
+double ContingencyTable::cramers_v() const noexcept {
+  if (total_ == 0) return 0.0;
+  const double k = static_cast<double>(std::min(rows_, cols_)) - 1.0;
+  if (k <= 0.0) return 0.0;
+  return std::sqrt(chi_square() / (static_cast<double>(total_) * k));
+}
+
+double regularized_gamma_p(double a, double x) noexcept {
+  if (x < 0.0 || a <= 0.0) return 0.0;
+  if (x == 0.0) return 0.0;
+  const double lg = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series representation.
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::abs(del) < std::abs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - lg);
+  }
+  // Continued fraction for Q, then P = 1 - Q (Lentz's algorithm).
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::abs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-14) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - lg) * h;
+  return 1.0 - q;
+}
+
+double chi_square_sf(double x, std::size_t dof) noexcept {
+  if (dof == 0 || x <= 0.0) return 1.0;
+  return 1.0 - regularized_gamma_p(static_cast<double>(dof) / 2.0, x / 2.0);
+}
+
+}  // namespace hpcfail::stats

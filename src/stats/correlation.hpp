@@ -1,0 +1,61 @@
+// Correlation and association measures used by the external-influence
+// analysis: Pearson/Spearman for sensor series, chi-square and Cramer's V
+// for fault-vs-failure contingency tables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpcfail::stats {
+
+/// Pearson correlation coefficient; 0 when either side is constant or the
+/// spans are empty / mismatched.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Spearman rank correlation (Pearson over mid-ranks, ties averaged).
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+/// R x C contingency table of observation counts.
+class ContingencyTable {
+ public:
+  ContingencyTable(std::size_t rows, std::size_t cols);
+
+  void add(std::size_t row, std::size_t col, std::uint64_t n = 1);
+
+  [[nodiscard]] std::uint64_t at(std::size_t row, std::size_t col) const noexcept {
+    return cells_[row * cols_ + col];
+  }
+  [[nodiscard]] std::uint64_t row_total(std::size_t row) const noexcept;
+  [[nodiscard]] std::uint64_t col_total(std::size_t col) const noexcept;
+  [[nodiscard]] std::uint64_t grand_total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  /// Pearson chi-square statistic; 0 when any margin is empty.
+  [[nodiscard]] double chi_square() const noexcept;
+
+  /// Degrees of freedom (rows-1)*(cols-1).
+  [[nodiscard]] std::size_t dof() const noexcept { return (rows_ - 1) * (cols_ - 1); }
+
+  /// Upper-tail p-value of the chi-square statistic.
+  [[nodiscard]] double p_value() const noexcept;
+
+  /// Cramer's V in [0, 1]; association strength independent of sample size.
+  [[nodiscard]] double cramers_v() const noexcept;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::uint64_t> cells_;
+  std::uint64_t total_ = 0;
+};
+
+/// Regularized lower incomplete gamma P(a, x) (series + continued fraction).
+[[nodiscard]] double regularized_gamma_p(double a, double x) noexcept;
+
+/// Upper-tail probability of a chi-square variable with `dof` degrees of
+/// freedom exceeding `x`.
+[[nodiscard]] double chi_square_sf(double x, std::size_t dof) noexcept;
+
+}  // namespace hpcfail::stats

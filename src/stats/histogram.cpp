@@ -1,0 +1,86 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hpcfail::stats {
+
+Histogram Histogram::linear(double lo, double hi, std::size_t bins) {
+  if (!(lo < hi) || bins == 0) throw std::invalid_argument("Histogram::linear: bad range");
+  std::vector<double> edges(bins + 1);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(bins);
+  }
+  return Histogram(std::move(edges));
+}
+
+Histogram Histogram::logarithmic(double lo, double hi, std::size_t bins) {
+  if (!(0 < lo && lo < hi) || bins == 0) {
+    throw std::invalid_argument("Histogram::logarithmic: bad range");
+  }
+  std::vector<double> edges(bins + 1);
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  for (std::size_t i = 0; i <= bins; ++i) {
+    edges[i] = std::exp(llo + (lhi - llo) * static_cast<double>(i) / static_cast<double>(bins));
+  }
+  return Histogram(std::move(edges));
+}
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (edges_.size() < 2 || !std::is_sorted(edges_.begin(), edges_.end())) {
+    throw std::invalid_argument("Histogram: need >=2 ascending edges");
+  }
+  counts_.assign(edges_.size() - 1, 0);
+}
+
+void Histogram::add(double x, std::uint64_t weight) noexcept {
+  total_ += weight;
+  if (x < edges_.front()) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= edges_.back()) {
+    overflow_ += weight;
+    return;
+  }
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  counts_[static_cast<std::size_t>(it - edges_.begin()) - 1] += weight;
+}
+
+double Histogram::cumulative_fraction(std::size_t bin) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = underflow_;
+  for (std::size_t i = 0; i <= bin && i < counts_.size(); ++i) below += counts_[i];
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.edges_ != edges_) throw std::invalid_argument("Histogram::merge: edge mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[96];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "[%10.3f, %10.3f) %8llu ", edges_[i], edges_[i + 1],
+                  static_cast<unsigned long long>(counts_[i]));
+    out += buf;
+    const auto bars = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    out.append(bars, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,53 @@
+// Fixed-bin histograms (linear or logarithmic edges) with under/overflow
+// buckets.  Used for per-hour warning frequencies (Fig 9), temperature
+// profiles (Fig 11) and the inter-failure time distributions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcfail::stats {
+
+class Histogram {
+ public:
+  /// Linear bins: [lo, hi) split into `bins` equal intervals.
+  static Histogram linear(double lo, double hi, std::size_t bins);
+
+  /// Logarithmic bins: [lo, hi) with geometrically growing edges.
+  /// Requires 0 < lo < hi.
+  static Histogram logarithmic(double lo, double hi, std::size_t bins);
+
+  /// Explicit edges (ascending, at least two). Bin i covers
+  /// [edges[i], edges[i+1]).
+  explicit Histogram(std::vector<double> edges);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  [[nodiscard]] double bin_lo(std::size_t bin) const noexcept { return edges_[bin]; }
+  [[nodiscard]] double bin_hi(std::size_t bin) const noexcept { return edges_[bin + 1]; }
+
+  /// Fraction of all added mass (including under/overflow) at or below the
+  /// upper edge of `bin`.
+  [[nodiscard]] double cumulative_fraction(std::size_t bin) const noexcept;
+
+  void merge(const Histogram& other);
+
+  /// ASCII bar rendering, one bin per line.
+  [[nodiscard]] std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,9 @@
+#include "stats/summary.hpp"
+
+#include <cmath>
+
+namespace hpcfail::stats {
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,50 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpcfail::stats {
+
+std::vector<double> windowed_counts(std::span<const double> event_times, double begin,
+                                    double end, double window) {
+  std::vector<double> counts;
+  if (!(window > 0.0) || !(end > begin)) return counts;
+  const auto bins = static_cast<std::size_t>(std::ceil((end - begin) / window));
+  counts.assign(bins, 0.0);
+  for (const double t : event_times) {
+    if (t < begin || t >= end) continue;
+    const auto bin = static_cast<std::size_t>((t - begin) / window);
+    if (bin < bins) counts[bin] += 1.0;
+  }
+  return counts;
+}
+
+double index_of_dispersion(std::span<const double> counts) {
+  if (counts.empty()) return 0.0;
+  double mean = 0.0;
+  for (const double c : counts) mean += c;
+  mean /= static_cast<double>(counts.size());
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (const double c : counts) var += (c - mean) * (c - mean);
+  var /= static_cast<double>(counts.size());
+  return var / mean;
+}
+
+double autocorrelation(std::span<const double> series, std::size_t lag) {
+  if (series.size() <= lag + 1) return 0.0;
+  double mean = 0.0;
+  for (const double x : series) mean += x;
+  mean /= static_cast<double>(series.size());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    den += (series[i] - mean) * (series[i] - mean);
+  }
+  if (den <= 0.0) return 0.0;
+  for (std::size_t i = 0; i + lag < series.size(); ++i) {
+    num += (series[i] - mean) * (series[i + lag] - mean);
+  }
+  return num / den;
+}
+
+}  // namespace hpcfail::stats

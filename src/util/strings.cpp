@@ -1,0 +1,133 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+
+namespace hpcfail::util {
+
+namespace {
+constexpr bool is_ws(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && is_ws(s[b])) ++b;
+  while (e > b && is_ws(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_ws(s[i])) ++i;
+    const std::size_t start = i;
+    while (i < s.size() && !is_ws(s[i])) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_n(std::string_view s, char sep, std::size_t max_fields) {
+  std::vector<std::string_view> out;
+  if (max_fields == 0) return out;
+  std::size_t start = 0;
+  while (out.size() + 1 < max_fields) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) break;
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  out.push_back(s.substr(start));
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view s) noexcept {
+  s = trim(s);
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept {
+  s = trim(s);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view s) noexcept {
+  s = trim(s);
+  double value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::optional<std::string_view> strip_prefix(std::string_view s,
+                                             std::string_view prefix) noexcept {
+  if (!starts_with(s, prefix)) return std::nullopt;
+  return s.substr(prefix.size());
+}
+
+std::optional<std::string_view> extract_between(std::string_view s, std::string_view open,
+                                                std::string_view close) noexcept {
+  const std::size_t b = s.find(open);
+  if (b == std::string_view::npos) return std::nullopt;
+  const std::size_t start = b + open.size();
+  const std::size_t e = s.find(close, start);
+  if (e == std::string_view::npos) return std::nullopt;
+  return s.substr(start, e - start);
+}
+
+std::optional<std::string_view> find_kv(std::string_view line, std::string_view key) noexcept {
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    const std::size_t hit = line.find(key, pos);
+    if (hit == std::string_view::npos) return std::nullopt;
+    const std::size_t eq = hit + key.size();
+    const bool boundary_ok = hit == 0 || is_ws(line[hit - 1]) || line[hit - 1] == ',';
+    if (boundary_ok && eq < line.size() && line[eq] == '=') {
+      // Values run to the next whitespace; commas stay inside (node lists).
+      std::size_t end = eq + 1;
+      while (end < line.size() && !is_ws(line[end])) ++end;
+      return line.substr(eq + 1, end - eq - 1);
+    }
+    pos = hit + 1;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hpcfail::util

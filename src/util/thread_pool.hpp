@@ -1,0 +1,65 @@
+// Fixed-size thread pool with a blocking task queue plus a chunked
+// parallel_for.  The analysis pipeline shards work per day / per node and
+// runs the shards here; determinism is preserved because shards never share
+// mutable state and results are merged in index order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpcfail::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the future resolves when it completes.
+  template <typename F>
+  [[nodiscard]] std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, n), blocking until all iterations finish.
+  /// Work is split into contiguous chunks, one future per chunk.  Exceptions
+  /// from any iteration propagate to the caller (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(begin, end) over contiguous ranges covering [0, n).
+  void parallel_for_ranges(std::size_t n,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide default pool (lazily constructed, hardware concurrency).
+[[nodiscard]] ThreadPool& default_pool();
+
+}  // namespace hpcfail::util

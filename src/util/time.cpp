@@ -1,0 +1,216 @@
+#include "util/time.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace hpcfail::util {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kMonthNames = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+bool parse_int_field(std::string_view s, std::size_t pos, std::size_t len, int& out) noexcept {
+  if (pos + len > s.size()) return false;
+  int value = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const char c = s[pos + i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  out = value;
+  return true;
+}
+
+bool valid_civil(int mo, int d, int h, int mi, int sec) noexcept {
+  return mo >= 1 && mo <= 12 && d >= 1 && d <= 31 && h >= 0 && h < 24 &&
+         mi >= 0 && mi < 60 && sec >= 0 && sec < 60;
+}
+
+}  // namespace
+
+std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+                       static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& y, int& m, int& d) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+TimePoint make_time(const CivilTime& c) noexcept {
+  const std::int64_t days = days_from_civil(c.year, c.month, c.day);
+  std::int64_t sec = days * 86400 + c.hour * 3600 + c.minute * 60 + c.second;
+  return TimePoint{sec * 1'000'000 + c.usec};
+}
+
+TimePoint make_time(int y, int mo, int d, int h, int mi, int s, int us) noexcept {
+  return make_time(CivilTime{y, mo, d, h, mi, s, us});
+}
+
+CivilTime civil_time(TimePoint t) noexcept {
+  CivilTime c;
+  std::int64_t sec = t.usec / 1'000'000;
+  std::int64_t us = t.usec % 1'000'000;
+  if (us < 0) {
+    us += 1'000'000;
+    --sec;
+  }
+  std::int64_t days = sec / 86400;
+  std::int64_t in_day = sec % 86400;
+  if (in_day < 0) {
+    in_day += 86400;
+    --days;
+  }
+  civil_from_days(days, c.year, c.month, c.day);
+  c.hour = static_cast<int>(in_day / 3600);
+  c.minute = static_cast<int>((in_day % 3600) / 60);
+  c.second = static_cast<int>(in_day % 60);
+  c.usec = static_cast<int>(us);
+  return c;
+}
+
+std::string format_iso(TimePoint t) {
+  const CivilTime c = civil_time(t);
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%06d", c.year,
+                c.month, c.day, c.hour, c.minute, c.second, c.usec);
+  return buf;
+}
+
+std::string format_sql(TimePoint t) {
+  const CivilTime c = civil_time(t);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", c.year, c.month,
+                c.day, c.hour, c.minute, c.second);
+  return buf;
+}
+
+std::string format_syslog(TimePoint t) {
+  const CivilTime c = civil_time(t);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%s %2d %02d:%02d:%02d",
+                std::string(kMonthNames[static_cast<std::size_t>(c.month - 1)]).c_str(),
+                c.day, c.hour, c.minute, c.second);
+  return buf;
+}
+
+std::optional<TimePoint> parse_iso(std::string_view s) noexcept {
+  // YYYY-MM-DDTHH:MM:SS[.ffffff][Z]
+  if (s.size() < 19) return std::nullopt;
+  int y = 0, mo = 0, d = 0, h = 0, mi = 0, sec = 0;
+  if (!parse_int_field(s, 0, 4, y) || s[4] != '-' || !parse_int_field(s, 5, 2, mo) ||
+      s[7] != '-' || !parse_int_field(s, 8, 2, d) || (s[10] != 'T' && s[10] != ' ') ||
+      !parse_int_field(s, 11, 2, h) || s[13] != ':' || !parse_int_field(s, 14, 2, mi) ||
+      s[16] != ':' || !parse_int_field(s, 17, 2, sec)) {
+    return std::nullopt;
+  }
+  if (!valid_civil(mo, d, h, mi, sec)) return std::nullopt;
+  int us = 0;
+  std::size_t pos = 19;
+  if (pos < s.size() && s[pos] == '.') {
+    ++pos;
+    int scale = 100000;
+    std::size_t digits = 0;
+    while (pos < s.size() && digits < 6 && s[pos] >= '0' && s[pos] <= '9') {
+      us += (s[pos] - '0') * scale;
+      scale /= 10;
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0) return std::nullopt;
+  }
+  if (pos < s.size() && s[pos] == 'Z') ++pos;
+  if (pos != s.size()) return std::nullopt;
+  return make_time(y, mo, d, h, mi, sec, us);
+}
+
+std::optional<TimePoint> parse_sql(std::string_view s) noexcept {
+  if (s.size() != 19 || s[10] != ' ') return std::nullopt;
+  return parse_iso(std::string(s.substr(0, 10)) + "T" + std::string(s.substr(11)));
+}
+
+std::optional<TimePoint> parse_syslog(std::string_view s, int year) noexcept {
+  // "Mar  2 14:05:01" or "Mar 12 14:05:01"
+  if (s.size() < 15) return std::nullopt;
+  const std::string_view mon = s.substr(0, 3);
+  int month = 0;
+  for (std::size_t i = 0; i < kMonthNames.size(); ++i) {
+    if (kMonthNames[i] == mon) {
+      month = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  if (month == 0 || s[3] != ' ') return std::nullopt;
+  int day = 0;
+  if (s[4] == ' ') {
+    if (!parse_int_field(s, 5, 1, day)) return std::nullopt;
+  } else {
+    if (!parse_int_field(s, 4, 2, day)) return std::nullopt;
+  }
+  int h = 0, mi = 0, sec = 0;
+  if (s[6] != ' ' || !parse_int_field(s, 7, 2, h) || s[9] != ':' ||
+      !parse_int_field(s, 10, 2, mi) || s[12] != ':' || !parse_int_field(s, 13, 2, sec)) {
+    return std::nullopt;
+  }
+  if (!valid_civil(month, day, h, mi, sec)) return std::nullopt;
+  return make_time(year, month, day, h, mi, sec, 0);
+}
+
+std::string format_torque(TimePoint t) {
+  const CivilTime c = civil_time(t);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%02d/%02d/%04d %02d:%02d:%02d", c.month, c.day, c.year,
+                c.hour, c.minute, c.second);
+  return buf;
+}
+
+std::optional<TimePoint> parse_torque(std::string_view s) noexcept {
+  // MM/DD/YYYY HH:MM:SS
+  if (s.size() != 19) return std::nullopt;
+  int mo = 0, d = 0, y = 0, h = 0, mi = 0, sec = 0;
+  if (!parse_int_field(s, 0, 2, mo) || s[2] != '/' || !parse_int_field(s, 3, 2, d) ||
+      s[5] != '/' || !parse_int_field(s, 6, 4, y) || s[10] != ' ' ||
+      !parse_int_field(s, 11, 2, h) || s[13] != ':' || !parse_int_field(s, 14, 2, mi) ||
+      s[16] != ':' || !parse_int_field(s, 17, 2, sec)) {
+    return std::nullopt;
+  }
+  if (!valid_civil(mo, d, h, mi, sec)) return std::nullopt;
+  return make_time(y, mo, d, h, mi, sec, 0);
+}
+
+std::string format_duration(Duration d) {
+  const double s = std::abs(d.to_seconds());
+  char buf[32];
+  const char* sign = d.usec < 0 ? "-" : "";
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof buf, "%s%.0f ms", sign, s * 1000.0);
+  } else if (s < 120.0) {
+    std::snprintf(buf, sizeof buf, "%s%.1f s", sign, s);
+  } else if (s < 7200.0) {
+    std::snprintf(buf, sizeof buf, "%s%.1f min", sign, s / 60.0);
+  } else if (s < 172800.0) {
+    std::snprintf(buf, sizeof buf, "%s%.1f h", sign, s / 3600.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%.1f d", sign, s / 86400.0);
+  }
+  return buf;
+}
+
+}  // namespace hpcfail::util

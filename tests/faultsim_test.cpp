@@ -1,0 +1,326 @@
+// Unit tests for src/faultsim: chains, scenarios, simulator invariants,
+// special scenarios.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "faultsim/chain_emitter.hpp"
+#include "faultsim/scenario_io.hpp"
+#include "faultsim/simulator.hpp"
+#include "faultsim/special_scenarios.hpp"
+
+namespace hpcfail::faultsim {
+namespace {
+
+using logmodel::EventType;
+using logmodel::RootCause;
+
+struct ChainFixture {
+  platform::Topology topo{platform::TopologyConfig{}};
+  FailureProcessConfig config;
+  std::vector<logmodel::LogRecord> records;
+  GroundTruth truth;
+  util::Rng rng{99};
+  ChainEmitter emitter{topo, config, records, truth, rng};
+
+  std::size_t count(EventType t) const {
+    return static_cast<std::size_t>(
+        std::count_if(records.begin(), records.end(),
+                      [t](const auto& r) { return r.type == t; }));
+  }
+};
+
+class ChainTest : public ::testing::TestWithParam<RootCause> {};
+
+TEST_P(ChainTest, EveryChainEndsInAMarkerAndReboot) {
+  ChainFixture fx;
+  const util::TimePoint t = util::make_time(2015, 3, 2, 12);
+  const auto& planted =
+      fx.emitter.plant_failure(platform::NodeId{17}, t, GetParam(), nullptr);
+  EXPECT_EQ(planted.cause, GetParam());
+  EXPECT_EQ(planted.node.value, 17u);
+  EXPECT_EQ(planted.fail_time.usec, t.usec);
+  EXPECT_LE(planted.first_internal_indicator.usec, t.usec);
+  // A failure marker exists at the failure time.
+  EXPECT_GE(fx.count(EventType::KernelPanic) + fx.count(EventType::NodeShutdown) +
+                fx.count(EventType::NodeHalt),
+            1u);
+  EXPECT_EQ(fx.count(EventType::NodeBoot), 1u);
+  // Ground truth recorded exactly one failure.
+  EXPECT_EQ(fx.truth.failures.size(), 1u);
+  // All records carry the node's blade/cabinet or are blade/cabinet scoped.
+  for (const auto& r : fx.records) {
+    EXPECT_TRUE(r.has_blade() || r.has_cabinet() || r.has_node());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCauses, ChainTest,
+                         ::testing::Values(RootCause::HardwareMce,
+                                           RootCause::FailSlowHardware, RootCause::KernelBug,
+                                           RootCause::LustreBug, RootCause::MemoryExhaustion,
+                                           RootCause::AppAbnormalExit, RootCause::BiosUnknown,
+                                           RootCause::L0SysdMceUnknown,
+                                           RootCause::OperatorError));
+
+TEST(ChainTest, FailSlowEmitsEarlyExternalIndicators) {
+  ChainFixture fx;
+  const util::TimePoint t = util::make_time(2015, 3, 2, 12);
+  const auto& planted =
+      fx.emitter.plant_failure(platform::NodeId{3}, t, RootCause::FailSlowHardware, nullptr);
+  EXPECT_TRUE(planted.fail_slow);
+  EXPECT_TRUE(planted.has_external_indicator);
+  EXPECT_LT(planted.first_external_indicator.usec, planted.first_internal_indicator.usec);
+  EXPECT_GE(fx.count(EventType::EcHwError), 5u);
+  // Every ec_hw_error precedes the failure.
+  for (const auto& r : fx.records) {
+    if (r.type == EventType::EcHwError) {
+      EXPECT_LE(r.time.usec, t.usec);
+    }
+  }
+}
+
+TEST(ChainTest, MemoryChainCarriesJobAndModules) {
+  ChainFixture fx;
+  jobs::Job job;
+  job.job_id = 1234;
+  job.apid = 12347;
+  job.app_name = "genomics_mem";
+  const util::TimePoint t = util::make_time(2015, 3, 2, 12);
+  const auto& planted =
+      fx.emitter.plant_failure(platform::NodeId{9}, t, RootCause::MemoryExhaustion, &job);
+  EXPECT_EQ(planted.job_id, 1234);
+  EXPECT_FALSE(planted.stack_module.empty());
+  EXPECT_GE(fx.count(EventType::OomKill), 1u);
+  EXPECT_GE(fx.count(EventType::CallTrace), 2u);
+  // The oom record is attributed to the job.
+  for (const auto& r : fx.records) {
+    if (r.type == EventType::OomKill) {
+      EXPECT_EQ(r.job_id, 1234);
+    }
+  }
+}
+
+TEST(ChainTest, OperatorErrorHasNoPrecursors) {
+  ChainFixture fx;
+  const util::TimePoint t = util::make_time(2015, 3, 2, 12);
+  const auto& planted =
+      fx.emitter.plant_failure(platform::NodeId{5}, t, RootCause::OperatorError, nullptr);
+  EXPECT_EQ(planted.first_internal_indicator.usec, t.usec);
+  EXPECT_EQ(fx.count(EventType::NodeShutdown), 1u);
+  EXPECT_EQ(fx.count(EventType::KernelOops), 0u);
+}
+
+TEST(BenignEmitterTest, CountsTracked) {
+  ChainFixture fx;
+  const util::TimePoint t = util::make_time(2015, 3, 2);
+  fx.emitter.emit_benign_nhf(platform::NodeId{1}, t, true);
+  fx.emitter.emit_benign_nhf(platform::NodeId{2}, t, false);
+  fx.emitter.emit_benign_nvf(platform::NodeId{3}, t);
+  fx.emitter.emit_sedc_warning(platform::BladeId{0}, t, EventType::SedcTemperatureWarning,
+                               70.0);
+  fx.emitter.emit_cabinet_fault(platform::CabinetId{0}, t);
+  fx.emitter.emit_hung_task(platform::NodeId{4}, t);
+  fx.emitter.emit_benign_oom(platform::NodeId{5}, t);
+  EXPECT_EQ(fx.truth.benign.nhf_power_off, 1u);
+  EXPECT_EQ(fx.truth.benign.nhf_skipped_heartbeat, 1u);
+  EXPECT_EQ(fx.truth.benign.nvf_benign, 1u);
+  EXPECT_EQ(fx.truth.benign.sedc_warnings, 1u);
+  EXPECT_EQ(fx.truth.benign.cabinet_faults, 1u);
+  EXPECT_EQ(fx.truth.benign.hung_task_nodes, 1u);
+  EXPECT_EQ(fx.truth.failures.size(), 0u);  // none of these are failures
+}
+
+// ------------------------------------------------------------ simulator ----
+
+TEST(SimulatorTest, SeedDeterminism) {
+  const auto run = [] {
+    return Simulator(scenario_preset(platform::SystemName::S3, 5, 321)).run();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.records.size(), b.records.size());
+  ASSERT_EQ(a.truth.failures.size(), b.truth.failures.size());
+  for (std::size_t i = 0; i < a.truth.failures.size(); ++i) {
+    EXPECT_EQ(a.truth.failures[i].node.value, b.truth.failures[i].node.value);
+    EXPECT_EQ(a.truth.failures[i].fail_time.usec, b.truth.failures[i].fail_time.usec);
+    EXPECT_EQ(a.truth.failures[i].cause, b.truth.failures[i].cause);
+  }
+}
+
+TEST(SimulatorTest, DifferentSeedsDiffer) {
+  const auto a = Simulator(scenario_preset(platform::SystemName::S3, 5, 1)).run();
+  const auto b = Simulator(scenario_preset(platform::SystemName::S3, 5, 2)).run();
+  EXPECT_NE(a.records.size(), b.records.size());
+}
+
+TEST(SimulatorTest, FailuresWithinWindowAndTopology) {
+  const auto sim = Simulator(scenario_preset(platform::SystemName::S4, 10, 55)).run();
+  EXPECT_GT(sim.truth.failures.size(), 5u);
+  for (const auto& f : sim.truth.failures) {
+    EXPECT_LT(f.node.value, sim.topology.node_count());
+    EXPECT_GE(f.fail_time.usec, sim.config.begin.usec);
+    // Chains spread a little past the nominal end of the last burst.
+    EXPECT_LT(f.fail_time.usec, (sim.config.end() + util::Duration::hours(4)).usec);
+    EXPECT_EQ(f.blade.value, sim.topology.blade_of(f.node).value);
+  }
+}
+
+TEST(SimulatorTest, JobDrivenFailuresKillTheJob) {
+  const auto sim = Simulator(scenario_preset(platform::SystemName::S1, 14, 77)).run();
+  std::map<std::int64_t, const jobs::Job*> jobs_by_id;
+  for (const auto& j : sim.jobs) jobs_by_id[j.job_id] = &j;
+  std::size_t job_failures = 0;
+  for (const auto& f : sim.truth.failures) {
+    if (f.job_id == -1) continue;
+    ++job_failures;
+    const auto it = jobs_by_id.find(f.job_id);
+    ASSERT_NE(it, jobs_by_id.end());
+    EXPECT_TRUE(it->second->outcome == jobs::JobOutcome::NodeFailure ||
+                it->second->outcome == jobs::JobOutcome::OomKilled)
+        << to_string(it->second->outcome);
+    // The failed node belongs to the job.
+    const auto& nodes = it->second->nodes;
+    EXPECT_NE(std::find(nodes.begin(), nodes.end(), f.node), nodes.end());
+  }
+  EXPECT_GT(job_failures, 0u);
+}
+
+TEST(SimulatorTest, S5HasNoControllerRecords) {
+  const auto sim = Simulator(scenario_preset(platform::SystemName::S5, 7, 88)).run();
+  // Record-level NHFs can exist (chain emissions) but no SEDC warnings or
+  // cabinet chatter are generated for the institutional cluster.
+  for (const auto& r : sim.records) {
+    EXPECT_FALSE(logmodel::is_sedc_warning(r.type));
+    EXPECT_NE(r.type, EventType::CabinetPowerFault);
+  }
+}
+
+TEST(SimulatorTest, SensorReadingsWhenEnabled) {
+  ScenarioConfig cfg = scenario_preset(platform::SystemName::S1, 1, 99);
+  cfg.sensors.emit_readings = true;
+  cfg.sensors.reading_blade_count = 2;
+  cfg.sensors.reading_interval_minutes = 30.0;
+  cfg.sensors.force_power_off_node = 0;
+  const auto sim = Simulator(cfg).run();
+  std::size_t readings = 0;
+  bool zero_seen = false;
+  for (const auto& r : sim.records) {
+    if (r.type != EventType::SedcReading) continue;
+    ++readings;
+    EXPECT_LT(r.node.value, 8u);
+    if (r.node.value == 0) {
+      EXPECT_EQ(r.value, 0.0);
+      zero_seen = true;
+    } else {
+      EXPECT_GT(r.value, 20.0);
+    }
+  }
+  EXPECT_EQ(readings, 8u * 48u);  // 2 blades x 4 nodes x 48 samples
+  EXPECT_TRUE(zero_seen);
+}
+
+// ------------------------------------------------------------ scenario io ----
+
+TEST(ScenarioIoTest, DumpParseRoundTrip) {
+  const ScenarioConfig original = scenario_preset(platform::SystemName::S2, 14, 77);
+  const std::string text = scenario_to_string(original);
+  const ScenarioConfig back = scenario_from_string(text);
+  EXPECT_EQ(back.system.name, original.system.name);
+  EXPECT_EQ(back.days, original.days);
+  EXPECT_EQ(back.seed, original.seed);
+  EXPECT_EQ(back.begin.usec, original.begin.usec);
+  EXPECT_DOUBLE_EQ(back.failures.dominant_burst_mean, original.failures.dominant_burst_mean);
+  EXPECT_DOUBLE_EQ(back.benign.cabinet_faults_per_day, original.benign.cabinet_faults_per_day);
+  EXPECT_DOUBLE_EQ(back.workload.arrivals_per_hour, original.workload.arrivals_per_hour);
+  for (std::size_t i = 0; i < logmodel::kRootCauseCount; ++i) {
+    EXPECT_DOUBLE_EQ(back.failures.cause_weights[i], original.failures.cause_weights[i])
+        << i;
+  }
+  // Identical scenarios produce identical corpora.
+  const auto a = Simulator(original).run();
+  const auto b = Simulator(back).run();
+  EXPECT_EQ(a.records.size(), b.records.size());
+  EXPECT_EQ(a.truth.failures.size(), b.truth.failures.size());
+}
+
+TEST(ScenarioIoTest, OverridesApply) {
+  ScenarioConfig cfg = scenario_preset(platform::SystemName::S1, 7, 42);
+  apply_scenario_overrides(cfg,
+                           "# comment\n"
+                           "failures.dominant_burst_mean = 12.5\n"
+                           "cause_weights.LustreBug = 99\n"
+                           "benign.swo_per_month = 0\n"
+                           "sensors.emit_readings = 1\n");
+  EXPECT_DOUBLE_EQ(cfg.failures.dominant_burst_mean, 12.5);
+  EXPECT_DOUBLE_EQ(
+      cfg.failures.cause_weights[static_cast<std::size_t>(RootCause::LustreBug)], 99.0);
+  EXPECT_DOUBLE_EQ(cfg.benign.swo_per_month, 0.0);
+  EXPECT_TRUE(cfg.sensors.emit_readings);
+}
+
+TEST(ScenarioIoTest, ErrorsAreLoud) {
+  ScenarioConfig cfg = scenario_preset(platform::SystemName::S1, 7, 42);
+  EXPECT_THROW(apply_scenario_overrides(cfg, "no equals"), std::runtime_error);
+  EXPECT_THROW(apply_scenario_overrides(cfg, "unknown.key = 1"), std::runtime_error);
+  EXPECT_THROW(apply_scenario_overrides(cfg, "days = abc"), std::runtime_error);
+  EXPECT_THROW(apply_scenario_overrides(cfg, "cause_weights.NotACause = 1"),
+               std::runtime_error);
+  EXPECT_THROW(scenario_from_string("days = 3\n"), std::runtime_error);  // no system
+}
+
+// ----------------------------------------------------- special scenarios ----
+
+TEST(SpecialScenarioTest, Fig17PlanTotals) {
+  const auto plan = fig17_job_plan();
+  ASSERT_EQ(plan.size(), 16u);
+  std::uint32_t failures = 0;
+  for (const auto& p : plan) {
+    failures += p.failures;
+    EXPECT_LE(p.failures, p.overallocated);
+    EXPECT_LE(p.overallocated, p.nodes);
+  }
+  EXPECT_EQ(failures, 53u);
+  EXPECT_EQ(plan[0].overallocated, 600u);
+  EXPECT_EQ(plan[0].failures, 1u);
+  EXPECT_EQ(plan[15].overallocated, 683u);
+  EXPECT_EQ(plan[15].failures, 6u);
+  EXPECT_EQ(plan[4].failures, plan[4].overallocated);  // J5: all fail
+  EXPECT_EQ(plan[7].failures, plan[7].overallocated);  // J8: all fail
+}
+
+TEST(SpecialScenarioTest, OverallocationDayMatchesPlan) {
+  const auto sim = overallocation_day(12345);
+  EXPECT_EQ(sim.jobs.size(), 16u);
+  EXPECT_EQ(sim.truth.failures.size(), 53u);
+  for (const auto& f : sim.truth.failures) {
+    EXPECT_EQ(f.cause, RootCause::MemoryExhaustion);
+    EXPECT_NE(f.job_id, -1);
+  }
+  for (const auto& job : sim.jobs) {
+    EXPECT_EQ(job.outcome, jobs::JobOutcome::Overallocated);
+    EXPECT_GT(job.overallocated_nodes, 0u);
+  }
+}
+
+TEST(SpecialScenarioTest, CaseStudiesWellFormed) {
+  const auto cases = build_case_studies(777);
+  ASSERT_EQ(cases.size(), 5u);
+  EXPECT_EQ(cases[0].expected, RootCause::L0SysdMceUnknown);
+  EXPECT_EQ(cases[1].expected, RootCause::HardwareMce);
+  EXPECT_EQ(cases[2].expected, RootCause::MemoryExhaustion);
+  EXPECT_EQ(cases[3].expected, RootCause::LustreBug);
+  EXPECT_EQ(cases[4].expected, RootCause::FailSlowHardware);
+  EXPECT_EQ(cases[1].sim.truth.failures.size(), 3u);
+  EXPECT_EQ(cases[2].sim.truth.failures.size(), 6u);
+  // Case 3's six failures share one job across distinct blades.
+  std::set<std::uint32_t> blades;
+  for (const auto& f : cases[2].sim.truth.failures) {
+    EXPECT_EQ(f.job_id, 777001);
+    blades.insert(f.blade.value);
+  }
+  EXPECT_GT(blades.size(), 3u);
+}
+
+}  // namespace
+}  // namespace hpcfail::faultsim

@@ -1,0 +1,247 @@
+// Unit and property tests for src/jobs: catalog, allocator, workload,
+// job table.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "jobs/allocator.hpp"
+#include "jobs/app_catalog.hpp"
+#include "jobs/job_table.hpp"
+#include "jobs/workload.hpp"
+#include "platform/system_config.hpp"
+
+namespace hpcfail::jobs {
+namespace {
+
+platform::Topology small_topology() {
+  platform::TopologyConfig cfg;
+  cfg.cabinet_cols = 2;
+  return platform::Topology(cfg);  // 384 nodes
+}
+
+// -------------------------------------------------------------- catalog ----
+
+TEST(AppCatalogTest, SamplingRespectsPopularity) {
+  const AppCatalog catalog = AppCatalog::standard();
+  util::Rng rng(1);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[catalog.sample(rng).name]++;
+  // namd (popularity 10) must dominate devcode_x (popularity 1).
+  EXPECT_GT(counts["namd"], counts["devcode_x"] * 4);
+  EXPECT_GT(counts["devcode_x"], 0);
+}
+
+TEST(AppCatalogTest, FindByName) {
+  const AppCatalog catalog = AppCatalog::standard();
+  ASSERT_NE(catalog.find("genomics_mem"), nullptr);
+  EXPECT_GT(catalog.find("genomics_mem")->p_oom, 0.01);
+  EXPECT_EQ(catalog.find("nonexistent"), nullptr);
+}
+
+TEST(AppCatalogTest, EmptyCatalogRejected) {
+  EXPECT_THROW(AppCatalog(std::vector<AppProfile>{}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ allocator ----
+
+TEST(AllocatorTest, NoDoubleBookingWithinWindow) {
+  const auto topo = small_topology();
+  NodeAllocator alloc(topo);
+  util::Rng rng(2);
+  const util::TimePoint t0 = util::make_time(2015, 1, 1);
+  const util::TimePoint t1 = t0 + util::Duration::hours(1);
+
+  std::set<std::uint32_t> used;
+  for (int j = 0; j < 10; ++j) {
+    const auto nodes = alloc.allocate(30, t0, t1, AllocPolicy::Scattered, rng);
+    ASSERT_EQ(nodes.size(), 30u);
+    for (const auto n : nodes) {
+      EXPECT_TRUE(used.insert(n.value).second) << "node double-booked";
+    }
+  }
+  // 384 - 300 = 84 left; a request for 100 must fail entirely.
+  EXPECT_TRUE(alloc.allocate(100, t0, t1, AllocPolicy::Scattered, rng).empty());
+  // But succeeds after the old jobs end.
+  EXPECT_EQ(alloc.allocate(100, t1, t1 + util::Duration::hours(1), AllocPolicy::Scattered,
+                           rng)
+                .size(),
+            100u);
+}
+
+TEST(AllocatorTest, BladePackedIsContiguous) {
+  const auto topo = small_topology();
+  NodeAllocator alloc(topo);
+  util::Rng rng(3);
+  const util::TimePoint t0 = util::make_time(2015, 1, 1);
+  const auto nodes =
+      alloc.allocate(16, t0, t0 + util::Duration::hours(1), AllocPolicy::BladePacked, rng);
+  ASSERT_EQ(nodes.size(), 16u);
+  std::set<std::uint32_t> blades;
+  for (const auto n : nodes) blades.insert(topo.blade_of(n).value);
+  // 16 nodes over 4-node blades: exactly 4 whole blades.
+  EXPECT_EQ(blades.size(), 4u);
+}
+
+TEST(AllocatorTest, ReleaseFreesEarly) {
+  const auto topo = small_topology();
+  NodeAllocator alloc(topo);
+  util::Rng rng(4);
+  const util::TimePoint t0 = util::make_time(2015, 1, 1);
+  const util::TimePoint t1 = t0 + util::Duration::hours(10);
+  const auto nodes = alloc.allocate(topo.node_count(), t0, t1, AllocPolicy::Scattered, rng);
+  ASSERT_EQ(nodes.size(), topo.node_count());
+  EXPECT_EQ(alloc.free_count(t0 + util::Duration::hours(1)), 0u);
+  alloc.release(nodes[0], t0 + util::Duration::hours(1));
+  EXPECT_EQ(alloc.free_count(t0 + util::Duration::hours(1)), 1u);
+}
+
+TEST(AllocatorTest, ImpossibleRequests) {
+  const auto topo = small_topology();
+  NodeAllocator alloc(topo);
+  util::Rng rng(5);
+  const util::TimePoint t0 = util::make_time(2015, 1, 1);
+  EXPECT_TRUE(alloc.allocate(0, t0, t0, AllocPolicy::Scattered, rng).empty());
+  EXPECT_TRUE(
+      alloc.allocate(topo.node_count() + 1, t0, t0, AllocPolicy::Scattered, rng).empty());
+}
+
+// ------------------------------------------------------------- workload ----
+
+TEST(WorkloadTest, DeterministicAndOrdered) {
+  const auto topo = small_topology();
+  WorkloadConfig cfg;
+  cfg.arrivals_per_hour = 30;
+  const util::TimePoint begin = util::make_time(2015, 3, 2);
+  const util::TimePoint end = begin + util::Duration::days(2);
+
+  WorkloadGenerator g1(topo, AppCatalog::standard(), cfg, util::Rng(77));
+  WorkloadGenerator g2(topo, AppCatalog::standard(), cfg, util::Rng(77));
+  const auto jobs1 = g1.generate(begin, end);
+  const auto jobs2 = g2.generate(begin, end);
+  ASSERT_EQ(jobs1.size(), jobs2.size());
+  ASSERT_GT(jobs1.size(), 100u);
+  for (std::size_t i = 0; i < jobs1.size(); ++i) {
+    EXPECT_EQ(jobs1[i].job_id, jobs2[i].job_id);
+    EXPECT_EQ(jobs1[i].start.usec, jobs2[i].start.usec);
+    EXPECT_EQ(jobs1[i].nodes.size(), jobs2[i].nodes.size());
+    if (i > 0) {
+      EXPECT_GE(jobs1[i].start.usec, jobs1[i - 1].start.usec);
+    }
+  }
+}
+
+TEST(WorkloadTest, JobsWithinWindowAndValid) {
+  const auto topo = small_topology();
+  WorkloadGenerator gen(topo, AppCatalog::standard(), WorkloadConfig{}, util::Rng(78));
+  const util::TimePoint begin = util::make_time(2015, 3, 2);
+  const util::TimePoint end = begin + util::Duration::days(1);
+  for (const auto& job : gen.generate(begin, end)) {
+    EXPECT_GE(job.start.usec, begin.usec);
+    EXPECT_LT(job.start.usec, end.usec);
+    EXPECT_GT(job.end.usec, job.start.usec);
+    EXPECT_FALSE(job.nodes.empty());
+    EXPECT_GT(job.mem_per_node_gb, 0.0);
+    for (const auto n : job.nodes) EXPECT_LT(n.value, topo.node_count());
+  }
+}
+
+TEST(WorkloadTest, NoNodeOverlapAmongConcurrentJobs) {
+  const auto topo = small_topology();
+  WorkloadGenerator gen(topo, AppCatalog::standard(), WorkloadConfig{}, util::Rng(79));
+  const util::TimePoint begin = util::make_time(2015, 3, 2);
+  const auto jobs = gen.generate(begin, begin + util::Duration::days(1));
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (std::size_t j = i + 1; j < jobs.size(); ++j) {
+      const bool overlap_time =
+          jobs[i].start < jobs[j].end && jobs[j].start < jobs[i].end;
+      if (!overlap_time) continue;
+      std::set<std::uint32_t> a;
+      for (const auto n : jobs[i].nodes) a.insert(n.value);
+      for (const auto n : jobs[j].nodes) {
+        EXPECT_FALSE(a.contains(n.value))
+            << "jobs " << jobs[i].job_id << " and " << jobs[j].job_id << " share a node";
+      }
+    }
+  }
+}
+
+TEST(JobOutcomeTest, ExitCodes) {
+  EXPECT_EQ(exit_code_for(JobOutcome::Completed), 0);
+  EXPECT_EQ(exit_code_for(JobOutcome::UserCancelled), 130);
+  EXPECT_EQ(exit_code_for(JobOutcome::OomKilled), 137);
+  EXPECT_EQ(exit_code_for(JobOutcome::NodeFailure), 143);
+  EXPECT_NE(to_string(JobOutcome::ConfigError), "?");
+}
+
+// ------------------------------------------------------------ job table ----
+
+TEST(JobTableTest, FromJobsAndQueries) {
+  Job job;
+  job.job_id = 42;
+  job.app_name = "namd";
+  job.start = util::make_time(2015, 3, 2, 10);
+  job.end = util::make_time(2015, 3, 2, 12);
+  job.nodes = {platform::NodeId{1}, platform::NodeId{2}};
+  job.outcome = JobOutcome::Completed;
+  const JobTable table = JobTable::from_jobs({job});
+
+  ASSERT_NE(table.find(42), nullptr);
+  EXPECT_EQ(table.find(42)->app_name, "namd");
+  EXPECT_EQ(table.find(43), nullptr);
+
+  const auto* on_node =
+      table.job_on_node_at(platform::NodeId{1}, util::make_time(2015, 3, 2, 11));
+  ASSERT_NE(on_node, nullptr);
+  EXPECT_EQ(on_node->job_id, 42);
+  EXPECT_EQ(table.job_on_node_at(platform::NodeId{3}, util::make_time(2015, 3, 2, 11)),
+            nullptr);
+  // Outside the window, but within slack.
+  EXPECT_EQ(table.job_on_node_at(platform::NodeId{1}, util::make_time(2015, 3, 2, 12, 1)),
+            nullptr);
+  EXPECT_NE(table.job_on_node_at(platform::NodeId{1}, util::make_time(2015, 3, 2, 12, 1),
+                                 util::Duration::minutes(5)),
+            nullptr);
+  EXPECT_EQ(table.running_at(util::make_time(2015, 3, 2, 11)).size(), 1u);
+  EXPECT_TRUE(table.running_at(util::make_time(2015, 3, 2, 13)).empty());
+}
+
+TEST(JobTableTest, IncrementalConstruction) {
+  JobTable table;
+  JobInfo info;
+  info.job_id = 7;
+  info.start = util::make_time(2015, 1, 1);
+  info.end = info.start + util::Duration::days(9999);
+  info.nodes = {platform::NodeId{5}};
+  table.add_start(std::move(info));
+  table.add_end(7, util::make_time(2015, 1, 1, 2), 137, "OomKilled");
+  table.mark_overallocated(7, 3);
+  table.mark_cancelled(8);  // unknown id: ignored
+  table.finalize();
+
+  const auto* job = table.find(7);
+  ASSERT_NE(job, nullptr);
+  EXPECT_TRUE(job->ended);
+  EXPECT_EQ(job->exit_code, 137);
+  EXPECT_EQ(job->end_reason, "OomKilled");
+  EXPECT_TRUE(job->overallocated);
+  EXPECT_EQ(job->overallocated_nodes, 3u);
+  EXPECT_FALSE(job->cancelled);
+}
+
+TEST(JobTableTest, AddStartReplacesDuplicate) {
+  JobTable table;
+  JobInfo a;
+  a.job_id = 1;
+  a.app_name = "first";
+  table.add_start(a);
+  JobInfo b;
+  b.job_id = 1;
+  b.app_name = "second";
+  table.add_start(b);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.find(1)->app_name, "second");
+}
+
+}  // namespace
+}  // namespace hpcfail::jobs

@@ -1,0 +1,164 @@
+// Unit and property tests for src/logmodel: taxonomy consistency, LogStore.
+#include <gtest/gtest.h>
+
+#include "logmodel/cause.hpp"
+#include "logmodel/event_type.hpp"
+#include "logmodel/log_store.hpp"
+
+namespace hpcfail::logmodel {
+namespace {
+
+// ------------------------------------------------------------ taxonomy ----
+
+TEST(TaxonomyTest, EveryTypeHasUniqueName) {
+  std::set<std::string_view> names;
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    const auto type = static_cast<EventType>(i);
+    const auto name = to_string(type);
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << name;
+    EXPECT_EQ(event_type_from_string(name), type);
+  }
+  EXPECT_FALSE(event_type_from_string("NoSuchEvent").has_value());
+}
+
+class TaxonomyClassification : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TaxonomyClassification, ClassesAreConsistent) {
+  const auto type = static_cast<EventType>(GetParam());
+  const EventClass cls = event_class(type);
+  // Health faults and SEDC warnings are external; they never overlap.
+  if (is_health_fault(type) || is_sedc_warning(type)) {
+    EXPECT_EQ(cls, EventClass::External) << to_string(type);
+    EXPECT_FALSE(is_health_fault(type) && is_sedc_warning(type)) << to_string(type);
+  }
+  // Failure markers and internal indicators are internal and disjoint.
+  if (is_failure_marker(type) || is_internal_indicator(type)) {
+    EXPECT_EQ(cls, EventClass::Internal) << to_string(type);
+    EXPECT_FALSE(is_failure_marker(type) && is_internal_indicator(type)) << to_string(type);
+  }
+  // External lead-time indicators are external events.
+  if (is_external_indicator(type)) {
+    EXPECT_EQ(cls, EventClass::External) << to_string(type);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, TaxonomyClassification,
+                         ::testing::Range<std::size_t>(0, kEventTypeCount));
+
+TEST(CauseTest, LayersAndStrings) {
+  EXPECT_EQ(layer_of(RootCause::HardwareMce), CauseLayer::Hardware);
+  EXPECT_EQ(layer_of(RootCause::FailSlowHardware), CauseLayer::Hardware);
+  EXPECT_EQ(layer_of(RootCause::KernelBug), CauseLayer::Software);
+  EXPECT_EQ(layer_of(RootCause::LustreBug), CauseLayer::Software);
+  EXPECT_EQ(layer_of(RootCause::MemoryExhaustion), CauseLayer::Application);
+  EXPECT_EQ(layer_of(RootCause::BiosUnknown), CauseLayer::Unknown);
+  EXPECT_TRUE(is_application_triggered(RootCause::MemoryExhaustion));
+  EXPECT_FALSE(is_application_triggered(RootCause::HardwareMce));
+  for (std::size_t i = 0; i < kRootCauseCount; ++i) {
+    EXPECT_NE(to_string(static_cast<RootCause>(i)), "?");
+  }
+}
+
+// ------------------------------------------------------------ LogStore ----
+
+LogRecord make_record(std::int64_t sec, EventType type, std::uint32_t node,
+                      std::uint32_t blade = 0, std::uint32_t cabinet = 0) {
+  LogRecord r;
+  r.time = util::TimePoint::from_unix_seconds(sec);
+  r.type = type;
+  r.node = platform::NodeId{node};
+  r.blade = platform::BladeId{blade};
+  r.cabinet = platform::CabinetId{cabinet};
+  return r;
+}
+
+TEST(LogStoreTest, SortsByTime) {
+  std::vector<LogRecord> records;
+  records.push_back(make_record(30, EventType::KernelPanic, 1));
+  records.push_back(make_record(10, EventType::HardwareError, 1));
+  records.push_back(make_record(20, EventType::MachineCheckException, 1));
+  const LogStore store{std::move(records)};
+  ASSERT_EQ(store.size(), 3u);
+  EXPECT_EQ(store[0].type, EventType::HardwareError);
+  EXPECT_EQ(store[2].type, EventType::KernelPanic);
+  EXPECT_EQ(store.first_time().unix_seconds(), 10);
+  EXPECT_EQ(store.last_time().unix_seconds(), 30);
+}
+
+TEST(LogStoreTest, RangeQueryHalfOpen) {
+  std::vector<LogRecord> records;
+  for (int s = 0; s < 10; ++s) {
+    records.push_back(make_record(s, EventType::LustreError, 1));
+  }
+  const LogStore store{std::move(records)};
+  const auto span = store.range(util::TimePoint::from_unix_seconds(2),
+                                util::TimePoint::from_unix_seconds(5));
+  EXPECT_EQ(span.size(), 3u);
+  EXPECT_EQ(span.front().time.unix_seconds(), 2);
+  EXPECT_EQ(span.back().time.unix_seconds(), 4);
+}
+
+TEST(LogStoreTest, NodeBladeCabinetIndexes) {
+  std::vector<LogRecord> records;
+  records.push_back(make_record(1, EventType::HardwareError, 1, 10, 100));
+  records.push_back(make_record(2, EventType::HardwareError, 2, 10, 100));
+  records.push_back(make_record(3, EventType::HardwareError, 3, 11, 101));
+  // Blade-scoped record (no node).
+  LogRecord blade_only;
+  blade_only.time = util::TimePoint::from_unix_seconds(4);
+  blade_only.type = EventType::EcHwError;
+  blade_only.blade = platform::BladeId{10};
+  blade_only.cabinet = platform::CabinetId{100};
+  records.push_back(blade_only);
+  const LogStore store{std::move(records)};
+
+  const auto t0 = util::TimePoint::from_unix_seconds(0);
+  const auto t9 = util::TimePoint::from_unix_seconds(9);
+  EXPECT_EQ(store.node_range(platform::NodeId{1}, t0, t9).size(), 1u);
+  EXPECT_EQ(store.blade_range(platform::BladeId{10}, t0, t9).size(), 3u);
+  EXPECT_EQ(store.cabinet_range(platform::CabinetId{100}, t0, t9).size(), 3u);
+  EXPECT_EQ(store.cabinet_range(platform::CabinetId{101}, t0, t9).size(), 1u);
+  EXPECT_EQ(store.node_range(platform::NodeId{99}, t0, t9).size(), 0u);
+  // Window narrowing.
+  EXPECT_EQ(store.blade_range(platform::BladeId{10}, util::TimePoint::from_unix_seconds(2),
+                              util::TimePoint::from_unix_seconds(4))
+                .size(),
+            1u);
+}
+
+TEST(LogStoreTest, TypeIndexAndCounts) {
+  std::vector<LogRecord> records;
+  records.push_back(make_record(1, EventType::KernelPanic, 1));
+  records.push_back(make_record(2, EventType::KernelPanic, 2));
+  records.push_back(make_record(3, EventType::NodeBoot, 2));
+  const LogStore store{std::move(records)};
+  EXPECT_EQ(store.count_of_type(EventType::KernelPanic), 2u);
+  EXPECT_EQ(store.count_of_type(EventType::OomKill), 0u);
+  EXPECT_EQ(store.type_index(EventType::NodeBoot).size(), 1u);
+  const auto in_window = store.type_range(EventType::KernelPanic,
+                                          util::TimePoint::from_unix_seconds(2),
+                                          util::TimePoint::from_unix_seconds(9));
+  EXPECT_EQ(in_window.size(), 1u);
+}
+
+TEST(LogStoreTest, IncrementalAddRequiresFinalize) {
+  LogStore store;
+  store.add(make_record(5, EventType::NodeBoot, 1));
+  store.add(make_record(1, EventType::KernelPanic, 1));
+  EXPECT_FALSE(store.finalized());
+  store.finalize();
+  EXPECT_TRUE(store.finalized());
+  EXPECT_EQ(store[0].type, EventType::KernelPanic);
+  EXPECT_EQ(store.nodes().size(), 1u);
+}
+
+TEST(LogStoreTest, EmptyStore) {
+  const LogStore store{std::vector<LogRecord>{}};
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.range(util::TimePoint{0}, util::TimePoint{100}).empty());
+  EXPECT_TRUE(store.nodes().empty());
+}
+
+}  // namespace
+}  // namespace hpcfail::logmodel

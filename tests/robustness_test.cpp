@@ -1,0 +1,106 @@
+// Robustness to logging discrepancies (the paper's challenge 1): degraded
+// corpora — random line loss, corruption, missing time windows, absent
+// sources — must degrade the analysis gracefully, never crash it.
+#include <gtest/gtest.h>
+
+#include "core/leadtime.hpp"
+#include "core/root_cause.hpp"
+#include "faultsim/simulator.hpp"
+#include "loggen/corpus.hpp"
+#include "loggen/degrade.hpp"
+#include "parsers/corpus_parser.hpp"
+
+namespace hpcfail {
+namespace {
+
+struct Baseline {
+  faultsim::SimulationResult sim;
+  loggen::Corpus corpus;
+  std::size_t failures;
+};
+
+const Baseline& baseline() {
+  static const Baseline b = [] {
+    auto sim =
+        faultsim::Simulator(faultsim::scenario_preset(platform::SystemName::S1, 7, 606))
+            .run();
+    auto corpus = loggen::build_corpus(sim);
+    const auto parsed = parsers::parse_corpus(corpus);
+    const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+    return Baseline{std::move(sim), std::move(corpus), failures.size()};
+  }();
+  return b;
+}
+
+std::size_t detect_on(const loggen::Corpus& corpus) {
+  const auto parsed = parsers::parse_corpus(corpus);
+  return core::analyze_failures(parsed.store, &parsed.jobs).size();
+}
+
+TEST(RobustnessTest, RandomLineLossDegradesGracefully) {
+  loggen::DegradeConfig cfg;
+  cfg.drop_line_fraction = 0.10;
+  const auto degraded = loggen::degrade_corpus(baseline().corpus, cfg);
+  const std::size_t found = detect_on(degraded);
+  // 10% line loss may drop some markers but most failures survive.
+  EXPECT_GT(found, baseline().failures * 7 / 10);
+  EXPECT_LE(found, baseline().failures + 2);
+}
+
+TEST(RobustnessTest, HeavyCorruptionNeverCrashes) {
+  loggen::DegradeConfig cfg;
+  cfg.corrupt_line_fraction = 0.5;
+  const auto degraded = loggen::degrade_corpus(baseline().corpus, cfg);
+  const auto parsed = parsers::parse_corpus(degraded);
+  EXPECT_GT(parsed.skipped_lines, 0u);  // corruption rejects some lines
+  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+  EXPECT_GT(failures.size(), 0u);
+}
+
+TEST(RobustnessTest, MissingTimeWindowRemovesThoseFailures) {
+  const auto& b = baseline();
+  loggen::DegradeConfig cfg;
+  cfg.gap_begin = b.corpus.begin + util::Duration::days(2);
+  cfg.gap_end = b.corpus.begin + util::Duration::days(4);
+  const auto degraded = loggen::degrade_corpus(b.corpus, cfg);
+  const auto parsed = parsers::parse_corpus(degraded);
+  // The gap is empty of records.
+  EXPECT_TRUE(parsed.store.range(*cfg.gap_begin, *cfg.gap_end).empty());
+  // Failures outside the gap still detected.
+  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+  std::size_t planted_outside = 0;
+  for (const auto& f : b.sim.truth.failures) {
+    if (f.fail_time < *cfg.gap_begin || f.fail_time >= *cfg.gap_end) ++planted_outside;
+  }
+  EXPECT_GT(failures.size(), planted_outside * 8 / 10);
+}
+
+TEST(RobustnessTest, DroppingExternalSourcesKillsLeadTimeOnly) {
+  loggen::DegradeConfig cfg;
+  cfg.drop_source[static_cast<std::size_t>(logmodel::LogSource::Erd)] = true;
+  cfg.drop_source[static_cast<std::size_t>(logmodel::LogSource::Controller)] = true;
+  const auto degraded = loggen::degrade_corpus(baseline().corpus, cfg);
+  const auto parsed = parsers::parse_corpus(degraded);
+  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+  // Detection barely changes (it is internal-log driven)...
+  EXPECT_GT(failures.size(), baseline().failures * 9 / 10);
+  // ...but without the external universe no lead-time enhancement exists
+  // (the S5 situation, Observation 5).
+  const core::LeadTimeAnalyzer analyzer(parsed.store);
+  EXPECT_EQ(analyzer.summarize(failures).enhanceable, 0u);
+}
+
+TEST(RobustnessTest, DegradeIsDeterministic) {
+  loggen::DegradeConfig cfg;
+  cfg.drop_line_fraction = 0.2;
+  cfg.corrupt_line_fraction = 0.1;
+  cfg.seed = 7;
+  const auto a = loggen::degrade_corpus(baseline().corpus, cfg);
+  const auto b = loggen::degrade_corpus(baseline().corpus, cfg);
+  for (std::size_t s = 0; s < a.text.size(); ++s) {
+    EXPECT_EQ(a.text[s], b.text[s]);
+  }
+}
+
+}  // namespace
+}  // namespace hpcfail

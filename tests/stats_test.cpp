@@ -1,0 +1,321 @@
+// Unit and property tests for src/stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/bootstrap.hpp"
+#include "stats/correlation.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/fit.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+
+namespace hpcfail::stats {
+namespace {
+
+// ------------------------------------------------------------ summary ----
+
+TEST(SummaryTest, MatchesDirectComputation) {
+  StreamingStats s;
+  const std::vector<double> data = {1.0, 2.5, -3.0, 7.0, 0.0};
+  double sum = 0;
+  for (const double x : data) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / data.size();
+  double var = 0;
+  for (const double x : data) var += (x - mean) * (x - mean);
+  var /= data.size() - 1;
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 7.0);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(SummaryTest, MergeEqualsSequential) {
+  util::Rng rng(1);
+  StreamingStats whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-8);
+}
+
+TEST(SummaryTest, MergeWithEmpty) {
+  StreamingStats a, b;
+  a.add(1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(SummaryTest, EmptyIsZero) {
+  const StreamingStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+// --------------------------------------------------------------- ecdf ----
+
+TEST(EcdfTest, FractionAndQuantiles) {
+  const std::vector<double> v = {3, 1, 2, 4, 5};
+  const Ecdf e{v};
+  EXPECT_DOUBLE_EQ(e.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.fraction_at_or_below(3.0), 0.6);
+  EXPECT_DOUBLE_EQ(e.fraction_at_or_below(100), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 3.0);
+}
+
+class EcdfMonotonic : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EcdfMonotonic, FractionMonotonicQuantileMonotonic) {
+  util::Rng rng(GetParam());
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.lognormal(1.0, 2.0));
+  const Ecdf e{sample};
+  double prev = -1.0;
+  for (double x = 0.0; x < 50.0; x += 0.5) {
+    const double f = e.fraction_at_or_below(x);
+    ASSERT_GE(f, prev);
+    ASSERT_GE(f, 0.0);
+    ASSERT_LE(f, 1.0);
+    prev = f;
+  }
+  double prev_q = -1e300;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = e.quantile(q);
+    ASSERT_GE(v, prev_q);
+    prev_q = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EcdfMonotonic, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(EcdfTest, KsDistanceSelfZero) {
+  util::Rng rng(9);
+  std::vector<double> sample;
+  for (int i = 0; i < 100; ++i) sample.push_back(rng.uniform());
+  const Ecdf e{sample};
+  EXPECT_DOUBLE_EQ(e.ks_distance(e), 0.0);
+}
+
+TEST(EcdfTest, KsDistanceSeparatesDistributions) {
+  util::Rng rng(10);
+  std::vector<double> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(rng.normal(0, 1));
+    b.push_back(rng.normal(5, 1));
+  }
+  EXPECT_GT(Ecdf{a}.ks_distance(Ecdf{b}), 0.9);
+}
+
+// ---------------------------------------------------------- histogram ----
+
+TEST(HistogramTest, LinearBinningAndOverflow) {
+  Histogram h = Histogram::linear(0, 10, 5);
+  h.add(-1);
+  h.add(0);
+  h.add(9.99);
+  h.add(10);
+  h.add(5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(4), 0.8);  // everything but overflow
+}
+
+TEST(HistogramTest, MassConservationProperty) {
+  util::Rng rng(12);
+  Histogram h = Histogram::logarithmic(0.1, 1000, 30);
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) h.add(rng.lognormal(2, 2));
+  std::uint64_t total = h.underflow() + h.overflow();
+  for (std::size_t b = 0; b < h.bin_count(); ++b) total += h.count(b);
+  EXPECT_EQ(total, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(h.total(), static_cast<std::uint64_t>(n));
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a = Histogram::linear(0, 10, 2);
+  Histogram b = Histogram::linear(0, 10, 2);
+  a.add(1);
+  b.add(2);
+  b.add(7);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(1), 1u);
+  EXPECT_EQ(a.total(), 3u);
+  Histogram c = Histogram::linear(0, 5, 2);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(HistogramTest, BadArguments) {
+  EXPECT_THROW(Histogram::linear(5, 5, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram::logarithmic(0, 10, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+// -------------------------------------------------------- correlation ----
+
+TEST(CorrelationTest, PearsonKnownValues) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> yneg = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, yneg), -1.0, 1e-12);
+  const std::vector<double> constant = {3, 3, 3, 3, 3};
+  EXPECT_EQ(pearson(x, constant), 0.0);
+}
+
+TEST(CorrelationTest, SpearmanMonotoneNonlinear) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.1 * i));  // nonlinear but monotone
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(CorrelationTest, SpearmanHandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(ContingencyTest, ChiSquareIndependence) {
+  // Perfectly independent table: chi2 == 0.
+  ContingencyTable t(2, 2);
+  t.add(0, 0, 10);
+  t.add(0, 1, 20);
+  t.add(1, 0, 30);
+  t.add(1, 1, 60);
+  EXPECT_NEAR(t.chi_square(), 0.0, 1e-9);
+  EXPECT_NEAR(t.p_value(), 1.0, 1e-6);
+  EXPECT_NEAR(t.cramers_v(), 0.0, 1e-6);
+}
+
+TEST(ContingencyTest, StrongAssociation) {
+  ContingencyTable t(2, 2);
+  t.add(0, 0, 50);
+  t.add(1, 1, 50);
+  EXPECT_GT(t.chi_square(), 90.0);
+  EXPECT_LT(t.p_value(), 1e-6);
+  EXPECT_NEAR(t.cramers_v(), 1.0, 1e-6);
+}
+
+TEST(ContingencyTest, Margins) {
+  ContingencyTable t(2, 3);
+  t.add(0, 2, 4);
+  t.add(1, 0, 6);
+  EXPECT_EQ(t.row_total(0), 4u);
+  EXPECT_EQ(t.col_total(0), 6u);
+  EXPECT_EQ(t.grand_total(), 10u);
+  EXPECT_EQ(t.dof(), 2u);
+  EXPECT_THROW(t.add(2, 0), std::out_of_range);
+}
+
+TEST(GammaTest, RegularizedGammaKnownValues) {
+  // P(1, x) = 1 - e^-x.
+  for (const double x : {0.1, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(regularized_gamma_p(1.0, x), 1.0 - std::exp(-x), 1e-10) << x;
+  }
+  // Chi-square with 2 dof: SF(x) = e^{-x/2}.
+  EXPECT_NEAR(chi_square_sf(4.0, 2), std::exp(-2.0), 1e-10);
+  EXPECT_EQ(chi_square_sf(0.0, 3), 1.0);
+}
+
+// ---------------------------------------------------------------- fit ----
+
+TEST(FitTest, ExponentialRecoversRate) {
+  util::Rng rng(21);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.exponential(0.25));
+  const auto fit = fit_exponential(sample);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->rate, 0.25, 0.01);
+  EXPECT_LT(ks_statistic_exponential(sample, *fit), 0.02);
+}
+
+class WeibullRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeibullRecovery, RecoversShape) {
+  const double shape = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(shape * 1000));
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.weibull(shape, 7.0));
+  const auto fit = fit_weibull(sample);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->shape, shape, shape * 0.05);
+  EXPECT_NEAR(fit->scale, 7.0, 0.5);
+  EXPECT_LT(ks_statistic_weibull(sample, *fit), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WeibullRecovery, ::testing::Values(0.5, 0.8, 1.0, 1.5, 3.0));
+
+TEST(FitTest, LogNormalRecoversParams) {
+  util::Rng rng(23);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.lognormal(1.5, 0.75));
+  const auto fit = fit_lognormal(sample);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->mu, 1.5, 0.03);
+  EXPECT_NEAR(fit->sigma, 0.75, 0.03);
+}
+
+TEST(FitTest, DegenerateSamplesRejected) {
+  EXPECT_FALSE(fit_exponential(std::vector<double>{}).has_value());
+  EXPECT_FALSE(fit_exponential(std::vector<double>{-1.0, 0.0}).has_value());
+  EXPECT_FALSE(fit_weibull(std::vector<double>{2.0, 2.0, 2.0}).has_value());
+  EXPECT_FALSE(fit_lognormal(std::vector<double>{1.0}).has_value());
+}
+
+// ----------------------------------------------------------- bootstrap ----
+
+TEST(BootstrapTest, MeanCiCoversTruth) {
+  util::Rng rng(29);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) sample.push_back(rng.normal(10.0, 2.0));
+  const auto ci = bootstrap_mean_ci(sample, 600, 0.95);
+  EXPECT_NEAR(ci.point, 10.0, 0.5);
+  EXPECT_LT(ci.lo, ci.point);
+  EXPECT_GT(ci.hi, ci.point);
+  EXPECT_LT(ci.lo, 10.0);
+  EXPECT_GT(ci.hi, 10.0);
+  EXPECT_LT(ci.hi - ci.lo, 1.0);  // ~4 * 2/sqrt(500)
+}
+
+TEST(BootstrapTest, DegenerateCases) {
+  const auto empty = bootstrap_mean_ci(std::vector<double>{});
+  EXPECT_EQ(empty.point, 0.0);
+  const auto single = bootstrap_mean_ci(std::vector<double>{3.0});
+  EXPECT_EQ(single.point, 3.0);
+  EXPECT_EQ(single.lo, 3.0);
+  EXPECT_EQ(single.hi, 3.0);
+}
+
+TEST(BootstrapTest, CustomStatistic) {
+  const std::vector<double> sample = {1, 2, 3, 4, 100};
+  const auto ci = bootstrap_ci(
+      sample, [](std::span<const double> s) { return Ecdf{s}.quantile(0.5); }, 300);
+  EXPECT_EQ(ci.point, 3.0);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats
