@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_internode_times.dir/fig03_internode_times.cpp.o"
+  "CMakeFiles/fig03_internode_times.dir/fig03_internode_times.cpp.o.d"
+  "fig03_internode_times"
+  "fig03_internode_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_internode_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

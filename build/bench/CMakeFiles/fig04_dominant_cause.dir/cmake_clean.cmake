@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_dominant_cause.dir/fig04_dominant_cause.cpp.o"
+  "CMakeFiles/fig04_dominant_cause.dir/fig04_dominant_cause.cpp.o.d"
+  "fig04_dominant_cause"
+  "fig04_dominant_cause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_dominant_cause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

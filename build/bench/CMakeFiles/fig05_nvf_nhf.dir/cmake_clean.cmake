@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_nvf_nhf.dir/fig05_nvf_nhf.cpp.o"
+  "CMakeFiles/fig05_nvf_nhf.dir/fig05_nvf_nhf.cpp.o.d"
+  "fig05_nvf_nhf"
+  "fig05_nvf_nhf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_nvf_nhf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_blade_cabinet.dir/fig07_blade_cabinet.cpp.o"
+  "CMakeFiles/fig07_blade_cabinet.dir/fig07_blade_cabinet.cpp.o.d"
+  "fig07_blade_cabinet"
+  "fig07_blade_cabinet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_blade_cabinet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sedc_population.dir/fig08_sedc_population.cpp.o"
+  "CMakeFiles/fig08_sedc_population.dir/fig08_sedc_population.cpp.o.d"
+  "fig08_sedc_population"
+  "fig08_sedc_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sedc_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_warning_frequency.dir/fig09_warning_frequency.cpp.o"
+  "CMakeFiles/fig09_warning_frequency.dir/fig09_warning_frequency.cpp.o.d"
+  "fig09_warning_frequency"
+  "fig09_warning_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_warning_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cpu_temperature.dir/fig11_cpu_temperature.cpp.o"
+  "CMakeFiles/fig11_cpu_temperature.dir/fig11_cpu_temperature.cpp.o.d"
+  "fig11_cpu_temperature"
+  "fig11_cpu_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cpu_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

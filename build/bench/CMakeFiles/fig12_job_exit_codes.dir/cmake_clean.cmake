@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_job_exit_codes.dir/fig12_job_exit_codes.cpp.o"
+  "CMakeFiles/fig12_job_exit_codes.dir/fig12_job_exit_codes.cpp.o.d"
+  "fig12_job_exit_codes"
+  "fig12_job_exit_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_job_exit_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_job_exit_codes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_false_positives.dir/fig14_false_positives.cpp.o"
+  "CMakeFiles/fig14_false_positives.dir/fig14_false_positives.cpp.o.d"
+  "fig14_false_positives"
+  "fig14_false_positives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_false_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_s5_calltraces.dir/fig15_s5_calltraces.cpp.o"
+  "CMakeFiles/fig15_s5_calltraces.dir/fig15_s5_calltraces.cpp.o.d"
+  "fig15_s5_calltraces"
+  "fig15_s5_calltraces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_s5_calltraces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_s5_calltraces.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_s2_breakdown.dir/fig16_s2_breakdown.cpp.o"
+  "CMakeFiles/fig16_s2_breakdown.dir/fig16_s2_breakdown.cpp.o.d"
+  "fig16_s2_breakdown"
+  "fig16_s2_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_s2_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

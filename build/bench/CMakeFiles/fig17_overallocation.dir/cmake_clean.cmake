@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_overallocation.dir/fig17_overallocation.cpp.o"
+  "CMakeFiles/fig17_overallocation.dir/fig17_overallocation.cpp.o.d"
+  "fig17_overallocation"
+  "fig17_overallocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_overallocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_blade_same_reason.dir/fig18_blade_same_reason.cpp.o"
+  "CMakeFiles/fig18_blade_same_reason.dir/fig18_blade_same_reason.cpp.o.d"
+  "fig18_blade_same_reason"
+  "fig18_blade_same_reason.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_blade_same_reason.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_blade_same_reason.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_job_mtbf.dir/fig19_job_mtbf.cpp.o"
+  "CMakeFiles/fig19_job_mtbf.dir/fig19_job_mtbf.cpp.o.d"
+  "fig19_job_mtbf"
+  "fig19_job_mtbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_job_mtbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interconnect_report.dir/interconnect_report.cpp.o"
+  "CMakeFiles/interconnect_report.dir/interconnect_report.cpp.o.d"
+  "interconnect_report"
+  "interconnect_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interconnect_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

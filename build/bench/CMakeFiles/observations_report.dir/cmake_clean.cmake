@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/observations_report.dir/observations_report.cpp.o"
+  "CMakeFiles/observations_report.dir/observations_report.cpp.o.d"
+  "observations_report"
+  "observations_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/observations_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

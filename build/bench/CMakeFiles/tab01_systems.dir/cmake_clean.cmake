@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_systems.dir/tab01_systems.cpp.o"
+  "CMakeFiles/tab01_systems.dir/tab01_systems.cpp.o.d"
+  "tab01_systems"
+  "tab01_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

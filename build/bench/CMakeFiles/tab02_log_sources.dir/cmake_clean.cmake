@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_log_sources.dir/tab02_log_sources.cpp.o"
+  "CMakeFiles/tab02_log_sources.dir/tab02_log_sources.cpp.o.d"
+  "tab02_log_sources"
+  "tab02_log_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_log_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

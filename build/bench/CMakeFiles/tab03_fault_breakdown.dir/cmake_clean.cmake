@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_fault_breakdown.dir/tab03_fault_breakdown.cpp.o"
+  "CMakeFiles/tab03_fault_breakdown.dir/tab03_fault_breakdown.cpp.o.d"
+  "tab03_fault_breakdown"
+  "tab03_fault_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_fault_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_stack_modules.dir/tab04_stack_modules.cpp.o"
+  "CMakeFiles/tab04_stack_modules.dir/tab04_stack_modules.cpp.o.d"
+  "tab04_stack_modules"
+  "tab04_stack_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_stack_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

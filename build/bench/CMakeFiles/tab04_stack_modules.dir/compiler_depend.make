@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab04_stack_modules.
+# This may be replaced when dependencies are built.

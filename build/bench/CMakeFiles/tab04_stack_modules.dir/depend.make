@@ -1,0 +1,2 @@
+# Empty dependencies file for tab04_stack_modules.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_case_studies.dir/tab05_case_studies.cpp.o"
+  "CMakeFiles/tab05_case_studies.dir/tab05_case_studies.cpp.o.d"
+  "tab05_case_studies"
+  "tab05_case_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

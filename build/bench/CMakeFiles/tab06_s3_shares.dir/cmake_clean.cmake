@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_s3_shares.dir/tab06_s3_shares.cpp.o"
+  "CMakeFiles/tab06_s3_shares.dir/tab06_s3_shares.cpp.o.d"
+  "tab06_s3_shares"
+  "tab06_s3_shares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_s3_shares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

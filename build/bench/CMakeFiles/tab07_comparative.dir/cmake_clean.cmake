@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab07_comparative.dir/tab07_comparative.cpp.o"
+  "CMakeFiles/tab07_comparative.dir/tab07_comparative.cpp.o.d"
+  "tab07_comparative"
+  "tab07_comparative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab07_comparative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

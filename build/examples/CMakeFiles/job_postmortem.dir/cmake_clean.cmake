@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_postmortem.dir/job_postmortem.cpp.o"
+  "CMakeFiles/job_postmortem.dir/job_postmortem.cpp.o.d"
+  "job_postmortem"
+  "job_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

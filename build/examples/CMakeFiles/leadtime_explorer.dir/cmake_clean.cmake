@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leadtime_explorer.dir/leadtime_explorer.cpp.o"
+  "CMakeFiles/leadtime_explorer.dir/leadtime_explorer.cpp.o.d"
+  "leadtime_explorer"
+  "leadtime_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leadtime_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

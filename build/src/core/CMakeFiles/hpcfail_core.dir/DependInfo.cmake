@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cpp" "src/core/CMakeFiles/hpcfail_core.dir/advisor.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/advisor.cpp.o.d"
+  "/root/repo/src/core/benign_faults.cpp" "src/core/CMakeFiles/hpcfail_core.dir/benign_faults.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/benign_faults.cpp.o.d"
+  "/root/repo/src/core/clusters.cpp" "src/core/CMakeFiles/hpcfail_core.dir/clusters.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/clusters.cpp.o.d"
+  "/root/repo/src/core/external_correlator.cpp" "src/core/CMakeFiles/hpcfail_core.dir/external_correlator.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/external_correlator.cpp.o.d"
+  "/root/repo/src/core/failure_detector.cpp" "src/core/CMakeFiles/hpcfail_core.dir/failure_detector.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/failure_detector.cpp.o.d"
+  "/root/repo/src/core/job_analysis.cpp" "src/core/CMakeFiles/hpcfail_core.dir/job_analysis.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/job_analysis.cpp.o.d"
+  "/root/repo/src/core/leadtime.cpp" "src/core/CMakeFiles/hpcfail_core.dir/leadtime.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/leadtime.cpp.o.d"
+  "/root/repo/src/core/markdown_report.cpp" "src/core/CMakeFiles/hpcfail_core.dir/markdown_report.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/markdown_report.cpp.o.d"
+  "/root/repo/src/core/online_monitor.cpp" "src/core/CMakeFiles/hpcfail_core.dir/online_monitor.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/online_monitor.cpp.o.d"
+  "/root/repo/src/core/prediction.cpp" "src/core/CMakeFiles/hpcfail_core.dir/prediction.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/prediction.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/hpcfail_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/root_cause.cpp" "src/core/CMakeFiles/hpcfail_core.dir/root_cause.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/root_cause.cpp.o.d"
+  "/root/repo/src/core/spatial.cpp" "src/core/CMakeFiles/hpcfail_core.dir/spatial.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/spatial.cpp.o.d"
+  "/root/repo/src/core/temporal.cpp" "src/core/CMakeFiles/hpcfail_core.dir/temporal.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/temporal.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/core/CMakeFiles/hpcfail_core.dir/timeline.cpp.o" "gcc" "src/core/CMakeFiles/hpcfail_core.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jobs/CMakeFiles/hpcfail_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/logmodel/CMakeFiles/hpcfail_logmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hpcfail_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcfail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_core.dir/advisor.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/benign_faults.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/benign_faults.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/clusters.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/clusters.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/external_correlator.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/external_correlator.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/failure_detector.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/failure_detector.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/job_analysis.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/job_analysis.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/leadtime.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/leadtime.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/markdown_report.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/markdown_report.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/online_monitor.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/online_monitor.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/prediction.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/prediction.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/report.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/report.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/root_cause.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/root_cause.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/spatial.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/spatial.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/temporal.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/temporal.cpp.o.d"
+  "CMakeFiles/hpcfail_core.dir/timeline.cpp.o"
+  "CMakeFiles/hpcfail_core.dir/timeline.cpp.o.d"
+  "libhpcfail_core.a"
+  "libhpcfail_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

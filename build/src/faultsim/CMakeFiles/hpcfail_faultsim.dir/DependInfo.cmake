@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultsim/chain_emitter.cpp" "src/faultsim/CMakeFiles/hpcfail_faultsim.dir/chain_emitter.cpp.o" "gcc" "src/faultsim/CMakeFiles/hpcfail_faultsim.dir/chain_emitter.cpp.o.d"
+  "/root/repo/src/faultsim/scenario.cpp" "src/faultsim/CMakeFiles/hpcfail_faultsim.dir/scenario.cpp.o" "gcc" "src/faultsim/CMakeFiles/hpcfail_faultsim.dir/scenario.cpp.o.d"
+  "/root/repo/src/faultsim/scenario_io.cpp" "src/faultsim/CMakeFiles/hpcfail_faultsim.dir/scenario_io.cpp.o" "gcc" "src/faultsim/CMakeFiles/hpcfail_faultsim.dir/scenario_io.cpp.o.d"
+  "/root/repo/src/faultsim/simulator.cpp" "src/faultsim/CMakeFiles/hpcfail_faultsim.dir/simulator.cpp.o" "gcc" "src/faultsim/CMakeFiles/hpcfail_faultsim.dir/simulator.cpp.o.d"
+  "/root/repo/src/faultsim/special_scenarios.cpp" "src/faultsim/CMakeFiles/hpcfail_faultsim.dir/special_scenarios.cpp.o" "gcc" "src/faultsim/CMakeFiles/hpcfail_faultsim.dir/special_scenarios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jobs/CMakeFiles/hpcfail_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/logmodel/CMakeFiles/hpcfail_logmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hpcfail_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/hpcfail_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcfail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

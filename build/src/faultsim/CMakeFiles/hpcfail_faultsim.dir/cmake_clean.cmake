@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_faultsim.dir/chain_emitter.cpp.o"
+  "CMakeFiles/hpcfail_faultsim.dir/chain_emitter.cpp.o.d"
+  "CMakeFiles/hpcfail_faultsim.dir/scenario.cpp.o"
+  "CMakeFiles/hpcfail_faultsim.dir/scenario.cpp.o.d"
+  "CMakeFiles/hpcfail_faultsim.dir/scenario_io.cpp.o"
+  "CMakeFiles/hpcfail_faultsim.dir/scenario_io.cpp.o.d"
+  "CMakeFiles/hpcfail_faultsim.dir/simulator.cpp.o"
+  "CMakeFiles/hpcfail_faultsim.dir/simulator.cpp.o.d"
+  "CMakeFiles/hpcfail_faultsim.dir/special_scenarios.cpp.o"
+  "CMakeFiles/hpcfail_faultsim.dir/special_scenarios.cpp.o.d"
+  "libhpcfail_faultsim.a"
+  "libhpcfail_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jobs/allocator.cpp" "src/jobs/CMakeFiles/hpcfail_jobs.dir/allocator.cpp.o" "gcc" "src/jobs/CMakeFiles/hpcfail_jobs.dir/allocator.cpp.o.d"
+  "/root/repo/src/jobs/app_catalog.cpp" "src/jobs/CMakeFiles/hpcfail_jobs.dir/app_catalog.cpp.o" "gcc" "src/jobs/CMakeFiles/hpcfail_jobs.dir/app_catalog.cpp.o.d"
+  "/root/repo/src/jobs/job.cpp" "src/jobs/CMakeFiles/hpcfail_jobs.dir/job.cpp.o" "gcc" "src/jobs/CMakeFiles/hpcfail_jobs.dir/job.cpp.o.d"
+  "/root/repo/src/jobs/job_table.cpp" "src/jobs/CMakeFiles/hpcfail_jobs.dir/job_table.cpp.o" "gcc" "src/jobs/CMakeFiles/hpcfail_jobs.dir/job_table.cpp.o.d"
+  "/root/repo/src/jobs/workload.cpp" "src/jobs/CMakeFiles/hpcfail_jobs.dir/workload.cpp.o" "gcc" "src/jobs/CMakeFiles/hpcfail_jobs.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcfail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hpcfail_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_jobs.dir/allocator.cpp.o"
+  "CMakeFiles/hpcfail_jobs.dir/allocator.cpp.o.d"
+  "CMakeFiles/hpcfail_jobs.dir/app_catalog.cpp.o"
+  "CMakeFiles/hpcfail_jobs.dir/app_catalog.cpp.o.d"
+  "CMakeFiles/hpcfail_jobs.dir/job.cpp.o"
+  "CMakeFiles/hpcfail_jobs.dir/job.cpp.o.d"
+  "CMakeFiles/hpcfail_jobs.dir/job_table.cpp.o"
+  "CMakeFiles/hpcfail_jobs.dir/job_table.cpp.o.d"
+  "CMakeFiles/hpcfail_jobs.dir/workload.cpp.o"
+  "CMakeFiles/hpcfail_jobs.dir/workload.cpp.o.d"
+  "libhpcfail_jobs.a"
+  "libhpcfail_jobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_jobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loggen/corpus.cpp" "src/loggen/CMakeFiles/hpcfail_loggen.dir/corpus.cpp.o" "gcc" "src/loggen/CMakeFiles/hpcfail_loggen.dir/corpus.cpp.o.d"
+  "/root/repo/src/loggen/degrade.cpp" "src/loggen/CMakeFiles/hpcfail_loggen.dir/degrade.cpp.o" "gcc" "src/loggen/CMakeFiles/hpcfail_loggen.dir/degrade.cpp.o.d"
+  "/root/repo/src/loggen/nid_ranges.cpp" "src/loggen/CMakeFiles/hpcfail_loggen.dir/nid_ranges.cpp.o" "gcc" "src/loggen/CMakeFiles/hpcfail_loggen.dir/nid_ranges.cpp.o.d"
+  "/root/repo/src/loggen/renderer.cpp" "src/loggen/CMakeFiles/hpcfail_loggen.dir/renderer.cpp.o" "gcc" "src/loggen/CMakeFiles/hpcfail_loggen.dir/renderer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faultsim/CMakeFiles/hpcfail_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobs/CMakeFiles/hpcfail_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/logmodel/CMakeFiles/hpcfail_logmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hpcfail_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcfail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/hpcfail_sensors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_loggen.dir/corpus.cpp.o"
+  "CMakeFiles/hpcfail_loggen.dir/corpus.cpp.o.d"
+  "CMakeFiles/hpcfail_loggen.dir/degrade.cpp.o"
+  "CMakeFiles/hpcfail_loggen.dir/degrade.cpp.o.d"
+  "CMakeFiles/hpcfail_loggen.dir/nid_ranges.cpp.o"
+  "CMakeFiles/hpcfail_loggen.dir/nid_ranges.cpp.o.d"
+  "CMakeFiles/hpcfail_loggen.dir/renderer.cpp.o"
+  "CMakeFiles/hpcfail_loggen.dir/renderer.cpp.o.d"
+  "libhpcfail_loggen.a"
+  "libhpcfail_loggen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_loggen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logmodel/event_type.cpp" "src/logmodel/CMakeFiles/hpcfail_logmodel.dir/event_type.cpp.o" "gcc" "src/logmodel/CMakeFiles/hpcfail_logmodel.dir/event_type.cpp.o.d"
+  "/root/repo/src/logmodel/log_store.cpp" "src/logmodel/CMakeFiles/hpcfail_logmodel.dir/log_store.cpp.o" "gcc" "src/logmodel/CMakeFiles/hpcfail_logmodel.dir/log_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcfail_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hpcfail_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_logmodel.dir/event_type.cpp.o"
+  "CMakeFiles/hpcfail_logmodel.dir/event_type.cpp.o.d"
+  "CMakeFiles/hpcfail_logmodel.dir/log_store.cpp.o"
+  "CMakeFiles/hpcfail_logmodel.dir/log_store.cpp.o.d"
+  "libhpcfail_logmodel.a"
+  "libhpcfail_logmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_logmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_parsers.dir/corpus_parser.cpp.o"
+  "CMakeFiles/hpcfail_parsers.dir/corpus_parser.cpp.o.d"
+  "CMakeFiles/hpcfail_parsers.dir/line_classifier.cpp.o"
+  "CMakeFiles/hpcfail_parsers.dir/line_classifier.cpp.o.d"
+  "CMakeFiles/hpcfail_parsers.dir/source_parsers.cpp.o"
+  "CMakeFiles/hpcfail_parsers.dir/source_parsers.cpp.o.d"
+  "libhpcfail_parsers.a"
+  "libhpcfail_parsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_parsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cname.cpp" "src/platform/CMakeFiles/hpcfail_platform.dir/cname.cpp.o" "gcc" "src/platform/CMakeFiles/hpcfail_platform.dir/cname.cpp.o.d"
+  "/root/repo/src/platform/system_config.cpp" "src/platform/CMakeFiles/hpcfail_platform.dir/system_config.cpp.o" "gcc" "src/platform/CMakeFiles/hpcfail_platform.dir/system_config.cpp.o.d"
+  "/root/repo/src/platform/topology.cpp" "src/platform/CMakeFiles/hpcfail_platform.dir/topology.cpp.o" "gcc" "src/platform/CMakeFiles/hpcfail_platform.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcfail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

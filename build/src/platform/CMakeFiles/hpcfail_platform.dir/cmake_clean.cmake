@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_platform.dir/cname.cpp.o"
+  "CMakeFiles/hpcfail_platform.dir/cname.cpp.o.d"
+  "CMakeFiles/hpcfail_platform.dir/system_config.cpp.o"
+  "CMakeFiles/hpcfail_platform.dir/system_config.cpp.o.d"
+  "CMakeFiles/hpcfail_platform.dir/topology.cpp.o"
+  "CMakeFiles/hpcfail_platform.dir/topology.cpp.o.d"
+  "libhpcfail_platform.a"
+  "libhpcfail_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

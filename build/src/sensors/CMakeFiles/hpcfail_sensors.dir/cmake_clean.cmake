@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_sensors.dir/sensor_model.cpp.o"
+  "CMakeFiles/hpcfail_sensors.dir/sensor_model.cpp.o.d"
+  "libhpcfail_sensors.a"
+  "libhpcfail_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/fit.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/fit.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/fit.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/logistic.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/logistic.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/logistic.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/survival.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/survival.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/survival.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hpcfail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

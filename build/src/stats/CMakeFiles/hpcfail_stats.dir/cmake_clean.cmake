@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/correlation.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/fit.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/fit.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/histogram.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/logistic.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/logistic.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/summary.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/survival.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/survival.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/timeseries.cpp.o.d"
+  "libhpcfail_stats.a"
+  "libhpcfail_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_util.dir/rng.cpp.o"
+  "CMakeFiles/hpcfail_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hpcfail_util.dir/strings.cpp.o"
+  "CMakeFiles/hpcfail_util.dir/strings.cpp.o.d"
+  "CMakeFiles/hpcfail_util.dir/table.cpp.o"
+  "CMakeFiles/hpcfail_util.dir/table.cpp.o.d"
+  "CMakeFiles/hpcfail_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hpcfail_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/hpcfail_util.dir/time.cpp.o"
+  "CMakeFiles/hpcfail_util.dir/time.cpp.o.d"
+  "libhpcfail_util.a"
+  "libhpcfail_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultsim_test.dir/faultsim_test.cpp.o"
+  "CMakeFiles/faultsim_test.dir/faultsim_test.cpp.o.d"
+  "faultsim_test"
+  "faultsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

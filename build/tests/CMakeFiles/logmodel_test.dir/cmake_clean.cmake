@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logmodel_test.dir/logmodel_test.cpp.o"
+  "CMakeFiles/logmodel_test.dir/logmodel_test.cpp.o.d"
+  "logmodel_test"
+  "logmodel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logmodel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

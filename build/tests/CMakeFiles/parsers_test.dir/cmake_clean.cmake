@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsers_test.dir/parsers_test.cpp.o"
+  "CMakeFiles/parsers_test.dir/parsers_test.cpp.o.d"
+  "parsers_test"
+  "parsers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

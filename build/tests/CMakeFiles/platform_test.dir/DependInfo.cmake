@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/platform_test.cpp" "tests/CMakeFiles/platform_test.dir/platform_test.cpp.o" "gcc" "tests/CMakeFiles/platform_test.dir/platform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hpcfail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parsers/CMakeFiles/hpcfail_parsers.dir/DependInfo.cmake"
+  "/root/repo/build/src/loggen/CMakeFiles/hpcfail_loggen.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/hpcfail_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/jobs/CMakeFiles/hpcfail_jobs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/hpcfail_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/logmodel/CMakeFiles/hpcfail_logmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/hpcfail_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hpcfail_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
