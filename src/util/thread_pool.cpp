@@ -55,7 +55,19 @@ void ThreadPool::parallel_for_ranges(
     const std::size_t end = std::min(n, begin + chunk);
     futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
   }
-  for (auto& f : futures) f.get();
+  // Wait for EVERY chunk before rethrowing: the tasks capture `fn` by
+  // reference, so returning while chunks are still queued would leave them
+  // calling through a dangling reference.  First exception (in chunk order)
+  // wins, the rest are swallowed deliberately.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
 }
 
 ThreadPool& default_pool() {

@@ -42,7 +42,9 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, n), blocking until all iterations finish.
   /// Work is split into contiguous chunks, one future per chunk.  Exceptions
-  /// from any iteration propagate to the caller (first one wins).
+  /// from any iteration propagate to the caller (first chunk wins); the call
+  /// still joins every chunk before throwing, so `fn` is never referenced
+  /// after return.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Runs fn(begin, end) over contiguous ranges covering [0, n).

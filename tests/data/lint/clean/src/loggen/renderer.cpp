@@ -1,0 +1,13 @@
+#include "loggen/renderer.hpp"
+
+namespace hpcfail::loggen {
+
+std::string_view erd_event_name(EventType t) noexcept {
+  switch (t) {
+    case EventType::NodeHeartbeatFault: return "ec_node_failed";
+    case EventType::NodeVoltageFault: return "ec_node_voltage_fault";
+    default: return "ec_event";
+  }
+}
+
+}  // namespace hpcfail::loggen

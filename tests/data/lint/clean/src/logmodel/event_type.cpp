@@ -1,0 +1,10 @@
+#include "logmodel/event_type.hpp"
+
+namespace hpcfail::logmodel {
+
+constexpr const char* kEventNames[] = {
+    "NodeHeartbeatFault",
+    "NodeVoltageFault",
+};
+
+}  // namespace hpcfail::logmodel

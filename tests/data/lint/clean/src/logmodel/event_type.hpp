@@ -1,0 +1,11 @@
+#pragma once
+
+namespace hpcfail::logmodel {
+
+enum class EventType : unsigned char {
+  NodeHeartbeatFault,
+  NodeVoltageFault,
+  kCount
+};
+
+}  // namespace hpcfail::logmodel

@@ -1,0 +1,11 @@
+#include "parsers/line_classifier.hpp"
+
+namespace hpcfail::parsers {
+
+std::optional<EventType> erd_event_type(std::string_view name) noexcept {
+  if (name == "ec_node_failed") return EventType::NodeHeartbeatFault;
+  if (name == "ec_node_voltage_fault") return EventType::NodeVoltageFault;
+  return std::nullopt;
+}
+
+}  // namespace hpcfail::parsers

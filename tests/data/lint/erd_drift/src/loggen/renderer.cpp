@@ -1,0 +1,15 @@
+// Fixture: ERD table with a drifted event name and a mismatched type.
+#include "loggen/renderer.hpp"
+
+namespace hpcfail::loggen {
+
+std::string_view erd_event_name(EventType t) noexcept {
+  switch (t) {
+    case EventType::NodeHeartbeatFault: return "ec_node_failed";
+    case EventType::NodeVoltageFault: return "ec_node_voltage_falt";
+    case EventType::LinkError: return "ec_link_error";
+    default: return "ec_event";
+  }
+}
+
+}  // namespace hpcfail::loggen

@@ -1,0 +1,13 @@
+#pragma once
+
+namespace hpcfail::logmodel {
+
+enum class EventType : unsigned char {
+  NodeHeartbeatFault,
+  NodeVoltageFault,
+  LinkError,
+  LaneDegrade,
+  kCount
+};
+
+}  // namespace hpcfail::logmodel

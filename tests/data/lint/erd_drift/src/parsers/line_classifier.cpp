@@ -1,0 +1,13 @@
+// Fixture counterpart of the drifted renderer table.
+#include "parsers/line_classifier.hpp"
+
+namespace hpcfail::parsers {
+
+std::optional<EventType> erd_event_type(std::string_view name) noexcept {
+  if (name == "ec_node_failed") return EventType::NodeHeartbeatFault;
+  if (name == "ec_node_voltage_fault") return EventType::NodeVoltageFault;
+  if (name == "ec_link_error") return EventType::LaneDegrade;
+  return std::nullopt;
+}
+
+}  // namespace hpcfail::parsers

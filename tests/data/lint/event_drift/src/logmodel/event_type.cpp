@@ -1,0 +1,11 @@
+// Fixture: name table dropped an entry and drifted out of order.
+#include "logmodel/event_type.hpp"
+
+namespace hpcfail::logmodel {
+
+constexpr const char* kEventNames[] = {
+    "KernelPanic",
+    "MachineCheckException",
+};
+
+}  // namespace hpcfail::logmodel

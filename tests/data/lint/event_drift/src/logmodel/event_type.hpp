@@ -1,0 +1,12 @@
+#pragma once
+
+namespace hpcfail::logmodel {
+
+enum class EventType : unsigned char {
+  KernelPanic,
+  KernelOops,
+  MachineCheckException,
+  kCount
+};
+
+}  // namespace hpcfail::logmodel

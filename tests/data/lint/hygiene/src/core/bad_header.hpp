@@ -1,0 +1,7 @@
+// Fixture: header missing #pragma once and leaking a using-directive.
+#ifndef BAD_HEADER_H
+#define BAD_HEADER_H
+
+using namespace std;
+
+#endif

@@ -1,0 +1,113 @@
+// hpcfail-lint self-tests: each check runs against a deliberately drifted
+// fixture tree under tests/data/lint/ and must report the exact gcc-style
+// diagnostics, byte for byte — the lint's output contract is part of its
+// interface (CI annotates from it).  The real tree must come back clean.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using hpcfail::lint::Report;
+using hpcfail::lint::run_checks;
+
+std::filesystem::path fixture(const char* name) {
+  return std::filesystem::path(HPCFAIL_LINT_FIXTURES) / name;
+}
+
+std::vector<std::string> rendered(const Report& report) {
+  std::vector<std::string> out;
+  out.reserve(report.diagnostics.size());
+  for (const auto& d : report.diagnostics) out.push_back(d.to_string());
+  return out;
+}
+
+TEST(LintErdTable, DriftedEmitterTemplateIsDiagnosedExactly) {
+  const Report report = run_checks(fixture("erd_drift"), {"erd-table"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/loggen/renderer.cpp:9: error: [erd-table] 'ec_node_voltage_falt' "
+                "(emitted ERD event name) has no counterpart in "
+                "src/parsers/line_classifier.cpp",
+                "src/loggen/renderer.cpp:10: error: [erd-table] 'ec_link_error' maps to "
+                "LinkError here but to LaneDegrade in src/parsers/line_classifier.cpp",
+                "src/parsers/line_classifier.cpp:8: error: [erd-table] "
+                "'ec_node_voltage_fault' (parsed ERD event name) has no counterpart in "
+                "src/loggen/renderer.cpp",
+                "src/parsers/line_classifier.cpp:9: error: [erd-table] 'ec_link_error' "
+                "maps to LaneDegrade here but to LinkError in src/loggen/renderer.cpp",
+            }));
+}
+
+TEST(LintEventNames, DroppedAndReorderedNameTableIsDiagnosed) {
+  const Report report = run_checks(fixture("event_drift"), {"event-names"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/logmodel/event_type.cpp:6: error: [event-names] kEventNames has 2 "
+                "entries but EventType has 3 enumerators (to_string/"
+                "event_type_from_string will misreport)",
+                "src/logmodel/event_type.cpp:8: error: [event-names] kEventNames[1] is "
+                "\"MachineCheckException\" but enumerator #1 is KernelOops (declared at "
+                "src/logmodel/event_type.hpp:7)",
+            }));
+}
+
+TEST(LintBannedPattern, NondeterministicSeedingIsDiagnosedAndSuppressible) {
+  const Report report = run_checks(fixture("banned"), {"banned-pattern"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/faultsim/seeding.cpp:6: error: [banned-pattern] libc rand()/srand() "
+                "is banned; use util::Rng (deterministic xoshiro256**)",
+                "src/faultsim/seeding.cpp:6: error: [banned-pattern] wall-clock seeding "
+                "is banned; simulation time comes from the scenario config",
+                "src/faultsim/seeding.cpp:7: error: [banned-pattern] libc rand()/srand() "
+                "is banned; use util::Rng (deterministic xoshiro256**)",
+            }));
+}
+
+TEST(LintHeaderHygiene, MissingPragmaOnceAndUsingNamespaceAreDiagnosed) {
+  const Report report = run_checks(fixture("hygiene"), {"header-hygiene"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/core/bad_header.hpp:1: error: [header-hygiene] header lacks "
+                "#pragma once in its first 30 lines",
+                "src/core/bad_header.hpp:5: error: [header-hygiene] `using namespace` "
+                "in a header leaks into every includer",
+            }));
+}
+
+TEST(LintClean, ConsistentFixtureTreePasses) {
+  const Report report = run_checks(
+      fixture("clean"), {"erd-table", "event-names", "banned-pattern", "header-hygiene"});
+  EXPECT_TRUE(report.ok()) << (report.ok() ? std::string{}
+                                           : rendered(report).front());
+}
+
+TEST(LintClean, MissingFilesAreReportedNotFatal) {
+  const Report report = run_checks(fixture("hygiene"), {"erd-table"});
+  ASSERT_FALSE(report.ok());
+  for (const auto& d : report.diagnostics) {
+    EXPECT_EQ(d.line, 0u);
+    EXPECT_NE(d.message.find("cannot read file"), std::string::npos);
+  }
+}
+
+TEST(LintDispatch, UnknownCheckNameIsAUsageDiagnostic) {
+  const Report report = run_checks(fixture("clean"), {"no-such-check"});
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].check, "usage");
+}
+
+// The gate the ctest target enforces, exercised in-process as well so a
+// plain `ctest` run fails locally the moment the real universes drift.
+TEST(LintRealTree, AllChecksPassOnTheRepo) {
+  const Report report = run_checks(HPCFAIL_REPO_ROOT);
+  EXPECT_TRUE(report.ok()) << (report.ok() ? std::string{}
+                                           : report.diagnostics.front().to_string());
+}
+
+}  // namespace

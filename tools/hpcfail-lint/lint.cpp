@@ -1,0 +1,561 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace hpcfail::lint {
+
+namespace fs = std::filesystem;
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream out;
+  out << file << ':' << line << ": error: [" << check << "] " << message;
+  return out.str();
+}
+
+void Report::add(std::string file, std::size_t line, std::string check, std::string message) {
+  diagnostics.push_back(
+      Diagnostic{std::move(file), line, std::move(check), std::move(message)});
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source-file plumbing
+// ---------------------------------------------------------------------------
+
+/// A loaded source file: raw lines plus the repo-relative path used in
+/// diagnostics.  Line numbers are 1-based everywhere.
+struct SourceFile {
+  std::string rel_path;
+  std::vector<std::string> lines;
+};
+
+std::optional<SourceFile> load(const fs::path& root, const std::string& rel_path,
+                               const std::string& check, Report& report) {
+  std::ifstream in(root / rel_path);
+  if (!in) {
+    report.add(rel_path, 0, check, "cannot read file (tree layout drifted?)");
+    return std::nullopt;
+  }
+  SourceFile f;
+  f.rel_path = rel_path;
+  std::string line;
+  while (std::getline(in, line)) f.lines.push_back(std::move(line));
+  return f;
+}
+
+struct LineRange {
+  std::size_t begin = 0;  ///< 1-based first line inside the braces
+  std::size_t end = 0;    ///< 1-based line of the closing brace (inclusive)
+};
+
+/// Brace-balanced body of the first function/enum whose defining line
+/// contains `marker`.  Line-oriented: good enough for the table-shaped code
+/// this lint inspects (no braces inside string literals there).
+std::optional<LineRange> body_of(const SourceFile& f, std::string_view marker) {
+  std::size_t i = 0;
+  while (i < f.lines.size() && f.lines[i].find(marker) == std::string::npos) ++i;
+  if (i == f.lines.size()) return std::nullopt;
+  int depth = 0;
+  bool entered = false;
+  for (std::size_t j = i; j < f.lines.size(); ++j) {
+    for (const char c : f.lines[j]) {
+      if (c == '{') {
+        ++depth;
+        entered = true;
+      } else if (c == '}') {
+        --depth;
+        if (entered && depth == 0) return LineRange{i + 1, j + 1};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+struct TableEntry {
+  std::string key;
+  std::string value;
+  std::size_t line = 0;
+};
+
+/// All single-line regex matches in [range.begin, range.end]; group 1 -> key,
+/// group 2 (if present) -> value.
+std::vector<TableEntry> scan(const SourceFile& f, const LineRange& range,
+                             const std::regex& re) {
+  std::vector<TableEntry> out;
+  for (std::size_t n = range.begin; n <= range.end && n <= f.lines.size(); ++n) {
+    const std::string& text = f.lines[n - 1];
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      TableEntry e;
+      e.key = (*it)[1].str();
+      if (it->size() > 2 && (*it)[2].matched) e.value = (*it)[2].str();
+      e.line = n;
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+LineRange whole_file(const SourceFile& f) { return LineRange{1, f.lines.size()}; }
+
+// Repo-relative paths of the cross-checked tables.  Fixture trees used by
+// the lint's own tests mirror this layout.
+constexpr const char* kRendererCpp = "src/loggen/renderer.cpp";
+constexpr const char* kClassifierCpp = "src/parsers/line_classifier.cpp";
+constexpr const char* kEventTypeHpp = "src/logmodel/event_type.hpp";
+constexpr const char* kEventTypeCpp = "src/logmodel/event_type.cpp";
+constexpr const char* kFormatsMd = "FORMATS.md";
+
+/// EventType enumerators of event_type.hpp, in declaration order.
+std::vector<TableEntry> enum_entries(const fs::path& root, const std::string& check,
+                                     Report& report) {
+  const auto hpp = load(root, kEventTypeHpp, check, report);
+  if (!hpp) return {};
+  const auto body = body_of(*hpp, "enum class EventType");
+  if (!body) {
+    report.add(kEventTypeHpp, 0, check, "no `enum class EventType` block found");
+    return {};
+  }
+  // Enumerators start with an uppercase letter and end with ','; this skips
+  // comments, blank lines and the trailing kCount sentinel.
+  static const std::regex re(R"(^\s*([A-Z]\w*)\s*,)");
+  return scan(*hpp, *body, re);
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise table comparison
+// ---------------------------------------------------------------------------
+
+/// Reports entries of `ours` whose key is absent from `theirs`, or mapped to
+/// a different value.  `direction` phrases the message.
+void cross_check(const std::vector<TableEntry>& ours, const std::string& our_file,
+                 const std::vector<TableEntry>& theirs, const std::string& their_file,
+                 const std::string& check, const std::string& direction, Report& report) {
+  std::map<std::string, std::string> other;
+  for (const auto& e : theirs) other.emplace(e.key, e.value);
+  for (const auto& e : ours) {
+    const auto it = other.find(e.key);
+    if (it == other.end()) {
+      report.add(our_file, e.line, check,
+                 "'" + e.key + "' " + direction + " has no counterpart in " + their_file);
+    } else if (!e.value.empty() && !it->second.empty() && it->second != e.value) {
+      report.add(our_file, e.line, check,
+                 "'" + e.key + "' maps to " + e.value + " here but to " + it->second +
+                     " in " + their_file);
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Check: erd-table
+// ---------------------------------------------------------------------------
+
+void check_erd_tables(const fs::path& root, Report& report) {
+  const std::string check = "erd-table";
+  const auto renderer = load(root, kRendererCpp, check, report);
+  const auto classifier = load(root, kClassifierCpp, check, report);
+  if (!renderer || !classifier) return;
+
+  const auto rbody = body_of(*renderer, "erd_event_name(");
+  const auto cbody = body_of(*classifier, "erd_event_type(");
+  if (!rbody) {
+    report.add(kRendererCpp, 0, check, "no erd_event_name() definition found");
+  }
+  if (!cbody) {
+    report.add(kClassifierCpp, 0, check, "no erd_event_type() definition found");
+  }
+  if (!rbody || !cbody) return;
+
+  // case EventType::NodeHeartbeatFault: return "ec_node_failed";
+  static const std::regex rrex(
+      R"(case\s+EventType::(\w+)\s*:\s*return\s+\"([a-z0-9_]+)\";)");
+  // if (name == "ec_node_failed") return EventType::NodeHeartbeatFault;
+  static const std::regex crex(
+      R"(if\s*\(name\s*==\s*\"([a-z0-9_]+)\"\)\s*return\s+EventType::(\w+);)");
+
+  // Normalize both to name -> EventType.
+  std::vector<TableEntry> emit;
+  for (auto& e : scan(*renderer, *rbody, rrex)) {
+    emit.push_back(TableEntry{e.value, e.key, e.line});
+  }
+  const auto parse = scan(*classifier, *cbody, crex);
+
+  if (emit.empty()) {
+    report.add(kRendererCpp, rbody->begin, check,
+               "erd_event_name() has no `case EventType::X: return \"name\";` entries");
+  }
+  if (parse.empty()) {
+    report.add(kClassifierCpp, cbody->begin, check,
+               "erd_event_type() has no `if (name == \"...\") return EventType::X;` entries");
+  }
+
+  cross_check(emit, kRendererCpp, parse, kClassifierCpp, check,
+              "(emitted ERD event name)", report);
+  cross_check(parse, kClassifierCpp, emit, kRendererCpp, check,
+              "(parsed ERD event name)", report);
+
+  // Every EventType referenced must exist in the enum.
+  std::set<std::string> enum_names;
+  for (const auto& e : enum_entries(root, check, report)) enum_names.insert(e.key);
+  if (enum_names.empty()) return;
+  for (const auto& e : emit) {
+    if (enum_names.count(e.value) == 0) {
+      report.add(kRendererCpp, e.line, check,
+                 "EventType::" + e.value + " is not an enumerator of EventType");
+    }
+  }
+  for (const auto& e : parse) {
+    if (enum_names.count(e.value) == 0) {
+      report.add(kClassifierCpp, e.line, check,
+                 "EventType::" + e.value + " is not an enumerator of EventType");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check: event-names
+// ---------------------------------------------------------------------------
+
+void check_event_names(const fs::path& root, Report& report) {
+  const std::string check = "event-names";
+  const auto enums = enum_entries(root, check, report);
+  const auto cpp = load(root, kEventTypeCpp, check, report);
+  if (enums.empty() || !cpp) return;
+
+  const auto body = body_of(*cpp, "kEventNames");
+  if (!body) {
+    report.add(kEventTypeCpp, 0, check, "no kEventNames array found");
+    return;
+  }
+  static const std::regex re(R"(^\s*\"(\w+)\",)");
+  const auto names = scan(*cpp, *body, re);
+
+  if (names.size() != enums.size()) {
+    report.add(kEventTypeCpp, body->begin, check,
+               "kEventNames has " + std::to_string(names.size()) + " entries but EventType has " +
+                   std::to_string(enums.size()) +
+                   " enumerators (to_string/event_type_from_string will misreport)");
+  }
+  const std::size_t n = std::min(names.size(), enums.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (names[i].key != enums[i].key) {
+      report.add(kEventTypeCpp, names[i].line, check,
+                 "kEventNames[" + std::to_string(i) + "] is \"" + names[i].key +
+                     "\" but enumerator #" + std::to_string(i) + " is " + enums[i].key +
+                     " (declared at " + std::string(kEventTypeHpp) + ":" +
+                     std::to_string(enums[i].line) + ")");
+      break;  // one misalignment cascades; report the first only
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check: payload-coverage
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void coverage_pair(const SourceFile& renderer, std::string_view render_fn,
+                   const SourceFile& classifier, std::string_view classify_fn,
+                   const std::string& check, Report& report) {
+  const auto rbody = body_of(renderer, render_fn);
+  const auto cbody = body_of(classifier, classify_fn);
+  if (!rbody) {
+    report.add(renderer.rel_path, 0, check,
+               "no " + std::string(render_fn) + " definition found");
+  }
+  if (!cbody) {
+    report.add(classifier.rel_path, 0, check,
+               "no " + std::string(classify_fn) + " definition found");
+  }
+  if (!rbody || !cbody) return;
+
+  static const std::regex case_re(R"(case\s+EventType::(\w+)\s*:)");
+  static const std::regex classified_re(R"(Classified\{EventType::(\w+))");
+  const auto rendered = scan(renderer, *rbody, case_re);
+  const auto classified = scan(classifier, *cbody, classified_re);
+
+  std::set<std::string> classified_set;
+  for (const auto& e : classified) classified_set.insert(e.key);
+  std::set<std::string> rendered_set;
+  for (const auto& e : rendered) rendered_set.insert(e.key);
+
+  for (const auto& e : rendered) {
+    if (classified_set.count(e.key) == 0) {
+      report.add(renderer.rel_path, e.line, check,
+                 std::string(render_fn) + " renders EventType::" + e.key + " but " +
+                     std::string(classify_fn) + " (" + classifier.rel_path +
+                     ") never classifies it: emitted lines would be skipped on parse");
+    }
+  }
+  for (const auto& e : classified) {
+    if (rendered_set.count(e.key) == 0) {
+      report.add(classifier.rel_path, e.line, check,
+                 std::string(classify_fn) + " recovers EventType::" + e.key + " but " +
+                     std::string(render_fn) + " (" + renderer.rel_path +
+                     ") has no template for it: rule is dead or the emitter drifted");
+    }
+  }
+}
+
+}  // namespace
+
+void check_payload_coverage(const fs::path& root, Report& report) {
+  const std::string check = "payload-coverage";
+  const auto renderer = load(root, kRendererCpp, check, report);
+  const auto classifier = load(root, kClassifierCpp, check, report);
+  if (!renderer || !classifier) return;
+
+  coverage_pair(*renderer, "internal_payload(", *classifier, "classify_kernel_payload(",
+                check, report);
+  coverage_pair(*renderer, "controller_payload(", *classifier,
+                "classify_controller_payload(", check, report);
+}
+
+// ---------------------------------------------------------------------------
+// Check: formats-doc
+// ---------------------------------------------------------------------------
+
+void check_formats_doc(const fs::path& root, Report& report) {
+  const std::string check = "formats-doc";
+  const auto doc = load(root, kFormatsMd, check, report);
+  const auto renderer = load(root, kRendererCpp, check, report);
+  const auto classifier = load(root, kClassifierCpp, check, report);
+  if (!doc || !renderer || !classifier) return;
+
+  std::set<std::string> enum_names;
+  for (const auto& e : enum_entries(root, check, report)) enum_names.insert(e.key);
+
+  // --- console signature table: | EventName | `signature` | -----------------
+  static const std::regex row_re(R"(^\|\s*([A-Z]\w+)\s*\|.*`)");
+  const auto rows = scan(*doc, whole_file(*doc), row_re);
+
+  const auto ibody = body_of(*renderer, "internal_payload(");
+  const auto kbody = body_of(*classifier, "classify_kernel_payload(");
+  std::set<std::string> rendered_set;
+  std::set<std::string> classified_set;
+  std::vector<TableEntry> rendered;
+  if (ibody) {
+    static const std::regex case_re(R"(case\s+EventType::(\w+)\s*:)");
+    rendered = scan(*renderer, *ibody, case_re);
+    for (const auto& e : rendered) rendered_set.insert(e.key);
+  }
+  if (kbody) {
+    static const std::regex classified_re(R"(Classified\{EventType::(\w+))");
+    for (const auto& e : scan(*classifier, *kbody, classified_re)) {
+      classified_set.insert(e.key);
+    }
+  }
+
+  std::set<std::string> documented;
+  for (const auto& row : rows) {
+    documented.insert(row.key);
+    if (!enum_names.empty() && enum_names.count(row.key) == 0) {
+      report.add(kFormatsMd, row.line, check,
+                 "console table documents '" + row.key + "' which is not an EventType");
+      continue;
+    }
+    if (ibody && rendered_set.count(row.key) == 0) {
+      report.add(kFormatsMd, row.line, check,
+                 "console table documents " + row.key + " but " + kRendererCpp +
+                     " internal_payload() has no template for it");
+    }
+    if (kbody && classified_set.count(row.key) == 0) {
+      report.add(kFormatsMd, row.line, check,
+                 "console table documents " + row.key + " but " + kClassifierCpp +
+                     " classify_kernel_payload() never produces it");
+    }
+  }
+  if (!rows.empty()) {
+    for (const auto& e : rendered) {
+      if (documented.count(e.key) == 0) {
+        report.add(kRendererCpp, e.line, check,
+                   "internal_payload() renders EventType::" + e.key +
+                       " but the FORMATS.md console table does not document it");
+      }
+    }
+  }
+
+  // --- ERD vocabulary: backticked `ec_*` names in the "## erd" section ------
+  std::size_t erd_begin = 0;
+  std::size_t erd_end = doc->lines.size();
+  for (std::size_t i = 0; i < doc->lines.size(); ++i) {
+    if (erd_begin == 0 && doc->lines[i].rfind("## erd", 0) == 0) {
+      erd_begin = i + 1;
+    } else if (erd_begin != 0 && doc->lines[i].rfind("## ", 0) == 0) {
+      erd_end = i;
+      break;
+    }
+  }
+  const auto rbody = body_of(*renderer, "erd_event_name(");
+  if (erd_begin != 0 && rbody) {
+    static const std::regex doc_name_re(R"(`(ec_\w+)`)");
+    const auto doc_names = scan(*doc, LineRange{erd_begin, erd_end}, doc_name_re);
+    static const std::regex rrex(
+        R"(case\s+EventType::(\w+)\s*:\s*return\s+\"([a-z0-9_]+)\";)");
+    const auto table = scan(*renderer, *rbody, rrex);
+    std::set<std::string> in_code;
+    for (const auto& e : table) in_code.insert(e.value);
+    std::set<std::string> in_doc;
+    for (const auto& e : doc_names) in_doc.insert(e.key);
+    for (const auto& e : doc_names) {
+      if (in_code.count(e.key) == 0) {
+        report.add(kFormatsMd, e.line, check,
+                   "erd section documents event name '" + e.key + "' which " +
+                       kRendererCpp + " erd_event_name() never emits");
+      }
+    }
+    for (const auto& e : table) {
+      if (in_doc.count(e.value) == 0) {
+        report.add(kRendererCpp, e.line, check,
+                   "ERD event name '" + e.value +
+                       "' is not documented in the FORMATS.md erd section");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check: banned-pattern
+// ---------------------------------------------------------------------------
+
+void check_banned_patterns(const fs::path& root, Report& report) {
+  const std::string check = "banned-pattern";
+  struct Banned {
+    std::regex re;
+    std::string why;
+  };
+  // The simulator must be bit-reproducible across machines and runs; any
+  // libc/libstdc++ RNG or wall-clock seeding silently breaks golden tests.
+  static const std::vector<Banned> banned = {
+      {std::regex(R"(\b(s?rand)\s*\()"),
+       "libc rand()/srand() is banned; use util::Rng (deterministic xoshiro256**)"},
+      {std::regex(R"(\btime\s*\(\s*(NULL|nullptr|0)\s*\))"),
+       "wall-clock seeding is banned; simulation time comes from the scenario config"},
+      {std::regex(R"(std::random_device)"),
+       "std::random_device is banned; seeds must be explicit for reproducibility"},
+      {std::regex(R"(\b(mt19937(_64)?|default_random_engine|minstd_rand0?)\b)"),
+       "std <random> engines are banned; use util::Rng so sequences are portable"},
+      {std::regex(R"(\brandom_shuffle\b)"),
+       "random_shuffle is banned; use util::Rng::shuffle"},
+  };
+
+  const fs::path src = root / "src";
+  if (!fs::exists(src)) {
+    report.add("src", 0, check, "no src/ directory under repo root");
+    return;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const auto& path : files) {
+    const std::string rel = fs::relative(path, root).generic_string();
+    const auto file = load(root, rel, check, report);
+    if (!file) continue;
+    for (std::size_t n = 1; n <= file->lines.size(); ++n) {
+      const std::string& text = file->lines[n - 1];
+      if (text.find("hpcfail-lint: allow(banned-pattern)") != std::string::npos) continue;
+      for (const auto& b : banned) {
+        if (std::regex_search(text, b.re)) {
+          report.add(rel, n, check, b.why);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check: header-hygiene
+// ---------------------------------------------------------------------------
+
+void check_header_hygiene(const fs::path& root, Report& report) {
+  const std::string check = "header-hygiene";
+  const fs::path src = root / "src";
+  if (!fs::exists(src)) {
+    report.add("src", 0, check, "no src/ directory under repo root");
+    return;
+  }
+  std::vector<fs::path> headers;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".hpp") {
+      headers.push_back(entry.path());
+    }
+  }
+  std::sort(headers.begin(), headers.end());
+
+  static const std::regex using_ns(R"(^\s*using\s+namespace\b)");
+  for (const auto& path : headers) {
+    const std::string rel = fs::relative(path, root).generic_string();
+    const auto file = load(root, rel, check, report);
+    if (!file) continue;
+    bool pragma_once = false;
+    const std::size_t probe = std::min<std::size_t>(file->lines.size(), 30);
+    for (std::size_t n = 0; n < probe; ++n) {
+      if (file->lines[n].rfind("#pragma once", 0) == 0) {
+        pragma_once = true;
+        break;
+      }
+    }
+    if (!pragma_once) {
+      report.add(rel, 1, check, "header lacks #pragma once in its first 30 lines");
+    }
+    for (std::size_t n = 1; n <= file->lines.size(); ++n) {
+      if (std::regex_search(file->lines[n - 1], using_ns)) {
+        report.add(rel, n, check,
+                   "`using namespace` in a header leaks into every includer");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& all_check_names() {
+  static const std::vector<std::string> names = {
+      "erd-table",      "event-names",     "payload-coverage",
+      "formats-doc",    "banned-pattern",  "header-hygiene",
+  };
+  return names;
+}
+
+Report run_checks(const fs::path& root, const std::vector<std::string>& checks) {
+  using CheckFn = void (*)(const fs::path&, Report&);
+  static const std::map<std::string, CheckFn> registry = {
+      {"erd-table", &check_erd_tables},
+      {"event-names", &check_event_names},
+      {"payload-coverage", &check_payload_coverage},
+      {"formats-doc", &check_formats_doc},
+      {"banned-pattern", &check_banned_patterns},
+      {"header-hygiene", &check_header_hygiene},
+  };
+  Report report;
+  const std::vector<std::string>& selected = checks.empty() ? all_check_names() : checks;
+  for (const auto& name : selected) {
+    const auto it = registry.find(name);
+    if (it == registry.end()) {
+      report.add("<args>", 0, "usage", "unknown check '" + name + "'");
+      continue;
+    }
+    it->second(root, report);
+  }
+  return report;
+}
+
+}  // namespace hpcfail::lint

@@ -1,0 +1,77 @@
+// hpcfail-lint: domain-specific consistency checker for the hpcfail repo.
+//
+// The synthetic-log pipeline is only trustworthy while three universes stay
+// mutually consistent:
+//   1. what the emitters can produce   (src/faultsim/chain_emitter.cpp via
+//      src/loggen/renderer.cpp templates),
+//   2. what the parsers can recover    (src/parsers/line_classifier.cpp,
+//      src/parsers/source_parsers.cpp),
+//   3. what the documentation promises (FORMATS.md).
+// Each check statically cross-references two of these tables and emits
+// file:line diagnostics when they drift, so the build fails before a golden
+// test ever has to chase a silently-skipped log line.
+//
+// The checks are exposed individually (the fixture tests run them against
+// deliberately drifted mini-trees) and collectively via run_checks().
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcfail::lint {
+
+struct Diagnostic {
+  std::string file;     ///< path relative to the repo root
+  std::size_t line;     ///< 1-based; 0 means "whole file"
+  std::string check;    ///< check name, e.g. "erd-table"
+  std::string message;
+
+  /// "file:line: error: [check] message" (gcc-style, clickable in editors).
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool ok() const noexcept { return diagnostics.empty(); }
+  void add(std::string file, std::size_t line, std::string check, std::string message);
+};
+
+/// ERD event-name table: renderer's erd_event_name() and the classifier's
+/// erd_event_type() must be exact inverses (same names, same EventTypes).
+void check_erd_tables(const std::filesystem::path& root, Report& report);
+
+/// kEventNames in event_type.cpp must list exactly the EventType enumerators
+/// of event_type.hpp, in declaration order (to_string indexes by value).
+void check_event_names(const std::filesystem::path& root, Report& report);
+
+/// Every payload template the renderer can emit per source (console,
+/// controller) must have a matching classifier rule, and vice versa.
+void check_payload_coverage(const std::filesystem::path& root, Report& report);
+
+/// FORMATS.md tables must match the code: console signature table rows are
+/// real EventTypes covered by renderer+classifier, and the documented ERD
+/// event-name vocabulary equals the renderer's table.
+void check_formats_doc(const std::filesystem::path& root, Report& report);
+
+/// Repo invariants: no rand()/srand()/time(NULL)/std::random_device/mt19937
+/// in src/ (simulation must be deterministic through util::Rng).  Suppress a
+/// line with "hpcfail-lint: allow(banned-pattern)".
+void check_banned_patterns(const std::filesystem::path& root, Report& report);
+
+/// Header hygiene: every .hpp under src/ carries #pragma once near the top
+/// and no header pollutes includers with `using namespace`.
+void check_header_hygiene(const std::filesystem::path& root, Report& report);
+
+/// All known check names, in execution order.
+[[nodiscard]] const std::vector<std::string>& all_check_names();
+
+/// Runs the named checks (all of them when `checks` is empty) against the
+/// repo rooted at `root`.  Unknown names produce a "usage" diagnostic.
+[[nodiscard]] Report run_checks(const std::filesystem::path& root,
+                                const std::vector<std::string>& checks = {});
+
+}  // namespace hpcfail::lint

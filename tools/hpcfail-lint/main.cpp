@@ -1,0 +1,79 @@
+// CLI driver for hpcfail-lint.  Exit codes: 0 clean, 1 diagnostics emitted,
+// 2 usage error.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fputs(
+      "usage: hpcfail-lint [--repo-root DIR] [--check NAME]... [--list-checks]\n"
+      "\n"
+      "Statically cross-checks the emitter templates, parser tables and\n"
+      "FORMATS.md schemas of an hpcfail tree, plus repo invariants (banned\n"
+      "nondeterminism, header hygiene).  Prints gcc-style file:line\n"
+      "diagnostics and exits non-zero when the universes have drifted.\n",
+      to);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path root = ".";
+  std::vector<std::string> checks;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--list-checks") {
+      for (const auto& name : hpcfail::lint::all_check_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--repo-root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hpcfail-lint: --repo-root needs a value\n");
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (arg == "--check") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hpcfail-lint: --check needs a value\n");
+        return 2;
+      }
+      checks.emplace_back(argv[++i]);
+      continue;
+    }
+    std::fprintf(stderr, "hpcfail-lint: unknown argument '%s'\n", argv[i]);
+    usage(stderr);
+    return 2;
+  }
+
+  if (!std::filesystem::exists(root)) {
+    std::fprintf(stderr, "hpcfail-lint: repo root '%s' does not exist\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  const hpcfail::lint::Report report = hpcfail::lint::run_checks(root, checks);
+  for (const auto& d : report.diagnostics) {
+    std::printf("%s\n", d.to_string().c_str());
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "hpcfail-lint: %zu finding(s)\n", report.diagnostics.size());
+    return 1;
+  }
+  std::fprintf(stderr, "hpcfail-lint: clean\n");
+  return 0;
+}
