@@ -4,13 +4,16 @@
 //   3. serial vs pooled corpus parsing,
 //   4. end-to-end stage throughputs (simulate / render / parse / analyze).
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
+#include <filesystem>
 #include <regex>
 
 #include "core/root_cause.hpp"
 #include "faultsim/simulator.hpp"
 #include "loggen/corpus.hpp"
 #include "parsers/corpus_parser.hpp"
+#include "parsers/ingest.hpp"
 #include "parsers/line_classifier.hpp"
 #include "parsers/source_parsers.hpp"
 #include "util/strings.hpp"
@@ -106,6 +109,44 @@ void BM_ParseCorpus(benchmark::State& state) {
                           static_cast<std::int64_t>(records));
 }
 BENCHMARK(BM_ParseCorpus)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// The shared corpus written to disk once, for the file-ingestion bench.
+const std::string& shared_corpus_dir() {
+  static const std::string dir = [] {
+    const std::string d = "/tmp/hpcfail_bench_corpus";
+    std::filesystem::remove_all(d);
+    loggen::write_corpus(shared_corpus(), d);
+    return d;
+  }();
+  return dir;
+}
+
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux reports KiB
+}
+
+/// Streaming file ingestion (chunked read -> pooled parse -> sharded
+/// store build) with a pool of `state.range(0)` threads.  Contrast with
+/// BM_ParseCorpus, which parses an already-resident corpus.
+void BM_IngestFiles(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  parsers::IngestOptions options;
+  options.pool = &pool;
+  const auto bytes = static_cast<std::int64_t>(shared_corpus().bytes());
+  std::size_t records = 0;
+  for (auto _ : state) {
+    const auto parsed = parsers::ingest_files(shared_corpus_dir(), options);
+    records = parsed.parsed_records;
+  }
+  benchmark::DoNotOptimize(records);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * bytes);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+  state.counters["peak_rss_mb"] = peak_rss_mb();
+}
+BENCHMARK(BM_IngestFiles)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_LogStoreIndexedQuery(benchmark::State& state) {
   static const logmodel::LogStore store = shared_sim().make_store();

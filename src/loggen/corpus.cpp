@@ -21,6 +21,10 @@ constexpr std::array<std::string_view, logmodel::kLogSourceCount> kFileNames = {
 
 }  // namespace
 
+std::string_view source_file_name(logmodel::LogSource source) noexcept {
+  return kFileNames[static_cast<std::size_t>(source)];
+}
+
 std::size_t Corpus::bytes() const noexcept {
   std::size_t total = 0;
   for (const auto& t : text) total += t.size();
@@ -233,13 +237,18 @@ void write_corpus(const Corpus& corpus, const std::string& dir) {
   }
 }
 
-Corpus read_corpus(const std::string& dir) {
+Corpus read_corpus_header(const std::string& dir) {
   namespace fs = std::filesystem;
   std::ifstream manifest(fs::path(dir) / "manifest.txt");
   if (!manifest) throw std::runtime_error("read_corpus: missing manifest.txt in " + dir);
   std::ostringstream buf;
   buf << manifest.rdbuf();
-  Corpus corpus = corpus_from_manifest(buf.str());
+  return corpus_from_manifest(buf.str());
+}
+
+Corpus read_corpus(const std::string& dir) {
+  namespace fs = std::filesystem;
+  Corpus corpus = read_corpus_header(dir);
   for (std::size_t i = 0; i < kFileNames.size(); ++i) {
     std::ifstream file(fs::path(dir) / kFileNames[i], std::ios::binary);
     if (!file) continue;  // absent source (e.g. no ERD on S5)

@@ -52,6 +52,16 @@ void write_corpus(const Corpus& corpus, const std::string& dir);
 /// malformed fields.
 [[nodiscard]] Corpus read_corpus(const std::string& dir);
 
+/// Reads only manifest.txt — the machine/window header — leaving every
+/// source text empty.  This is how the streaming ingest path
+/// (parsers::ingest_files) learns the topology and base year without
+/// pulling the log files into memory.
+[[nodiscard]] Corpus read_corpus_header(const std::string& dir);
+
+/// File name a source is written to inside a corpus directory
+/// (e.g. "p0-console.log" for LogSource::Console).
+[[nodiscard]] std::string_view source_file_name(logmodel::LogSource source) noexcept;
+
 /// Serializes/parses the manifest (exposed for tests).
 [[nodiscard]] std::string manifest_to_string(const Corpus& corpus);
 [[nodiscard]] Corpus corpus_from_manifest(const std::string& manifest);

@@ -1,6 +1,7 @@
 #include "logmodel/log_store.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 
 namespace hpcfail::logmodel {
@@ -10,7 +11,17 @@ bool time_less(const LogRecord& a, const LogRecord& b) noexcept { return a.time 
 }  // namespace
 
 LogStore::LogStore(std::vector<LogRecord> records) : records_(std::move(records)) {
+  finalized_ = false;
   finalize();
+}
+
+LogStore LogStore::from_sorted(std::vector<LogRecord> records) {
+  assert(std::is_sorted(records.begin(), records.end(), time_less));
+  LogStore store;
+  store.records_ = std::move(records);
+  store.build_indexes();
+  store.finalized_ = true;
+  return store;
 }
 
 void LogStore::add(LogRecord r) {
@@ -21,6 +32,11 @@ void LogStore::add(LogRecord r) {
 void LogStore::finalize() {
   if (finalized_) return;
   std::stable_sort(records_.begin(), records_.end(), time_less);
+  build_indexes();
+  finalized_ = true;
+}
+
+void LogStore::build_indexes() {
   by_node_.clear();
   by_blade_.clear();
   by_cabinet_.clear();
@@ -32,19 +48,29 @@ void LogStore::finalize() {
     if (r.has_cabinet()) by_cabinet_[r.cabinet.value].push_back(i);
     by_type_[static_cast<std::size_t>(r.type)].push_back(i);
   }
-  finalized_ = true;
 }
 
-util::TimePoint LogStore::first_time() const noexcept {
+void LogStore::require_finalized() const {
+  if (!finalized_) {
+    throw std::logic_error(
+        "LogStore: query on a non-finalized store (call finalize() after add(); "
+        "records are unsorted and indexes stale until then)");
+  }
+}
+
+util::TimePoint LogStore::first_time() const {
+  require_finalized();
   return records_.empty() ? util::TimePoint{} : records_.front().time;
 }
 
-util::TimePoint LogStore::last_time() const noexcept {
+util::TimePoint LogStore::last_time() const {
+  require_finalized();
   return records_.empty() ? util::TimePoint{} : records_.back().time;
 }
 
 std::span<const LogRecord> LogStore::range(util::TimePoint begin,
-                                           util::TimePoint end) const noexcept {
+                                           util::TimePoint end) const {
+  require_finalized();
   LogRecord probe;
   probe.time = begin;
   const auto lo = std::lower_bound(records_.begin(), records_.end(), probe, time_less);
@@ -71,6 +97,7 @@ std::vector<std::uint32_t> LogStore::filter_window(const std::vector<std::uint32
 
 std::vector<std::uint32_t> LogStore::node_range(platform::NodeId node, util::TimePoint begin,
                                                 util::TimePoint end) const {
+  require_finalized();
   const auto it = by_node_.find(node.value);
   if (it == by_node_.end()) return {};
   return filter_window(it->second, begin, end);
@@ -78,6 +105,7 @@ std::vector<std::uint32_t> LogStore::node_range(platform::NodeId node, util::Tim
 
 std::vector<std::uint32_t> LogStore::blade_range(platform::BladeId blade, util::TimePoint begin,
                                                  util::TimePoint end) const {
+  require_finalized();
   const auto it = by_blade_.find(blade.value);
   if (it == by_blade_.end()) return {};
   return filter_window(it->second, begin, end);
@@ -86,6 +114,7 @@ std::vector<std::uint32_t> LogStore::blade_range(platform::BladeId blade, util::
 std::vector<std::uint32_t> LogStore::cabinet_range(platform::CabinetId cabinet,
                                                    util::TimePoint begin,
                                                    util::TimePoint end) const {
+  require_finalized();
   const auto it = by_cabinet_.find(cabinet.value);
   if (it == by_cabinet_.end()) return {};
   return filter_window(it->second, begin, end);
@@ -93,25 +122,34 @@ std::vector<std::uint32_t> LogStore::cabinet_range(platform::CabinetId cabinet,
 
 std::vector<std::uint32_t> LogStore::type_range(EventType type, util::TimePoint begin,
                                                 util::TimePoint end) const {
+  require_finalized();
+  // A default-constructed (empty) store never ran build_indexes(); without
+  // this guard the subscript below is UB, unlike count_of_type/type_index
+  // which always guarded it.
+  if (by_type_.empty()) return {};
   return filter_window(by_type_[static_cast<std::size_t>(type)], begin, end);
 }
 
-std::size_t LogStore::count_of_type(EventType type) const noexcept {
+std::size_t LogStore::count_of_type(EventType type) const {
+  require_finalized();
   return by_type_.empty() ? 0 : by_type_[static_cast<std::size_t>(type)].size();
 }
 
-std::span<const std::uint32_t> LogStore::node_index(platform::NodeId node) const noexcept {
+std::span<const std::uint32_t> LogStore::node_index(platform::NodeId node) const {
+  require_finalized();
   const auto it = by_node_.find(node.value);
   if (it == by_node_.end()) return {};
   return it->second;
 }
 
-std::span<const std::uint32_t> LogStore::type_index(EventType type) const noexcept {
+std::span<const std::uint32_t> LogStore::type_index(EventType type) const {
+  require_finalized();
   if (by_type_.empty()) return {};
   return by_type_[static_cast<std::size_t>(type)];
 }
 
 std::vector<platform::NodeId> LogStore::nodes() const {
+  require_finalized();
   std::vector<platform::NodeId> out;
   out.reserve(by_node_.size());
   for (const auto& [id, _] : by_node_) out.push_back(platform::NodeId{id});

@@ -20,6 +20,11 @@ class LogStore {
   /// Takes ownership of the records, sorts by time and builds indexes.
   explicit LogStore(std::vector<LogRecord> records);
 
+  /// Builds a store from records already stably sorted by time (e.g. the
+  /// k-way merge of StoreBuilder), skipping the O(n log n) global sort.
+  /// Precondition (asserted in debug builds): records are time-ordered.
+  [[nodiscard]] static LogStore from_sorted(std::vector<LogRecord> records);
+
   void add(LogRecord r);
 
   /// Sorts and (re)builds indexes. Must be called after the last add()
@@ -31,12 +36,12 @@ class LogStore {
   [[nodiscard]] const LogRecord& operator[](std::size_t i) const noexcept { return records_[i]; }
   [[nodiscard]] const std::vector<LogRecord>& records() const noexcept { return records_; }
 
-  [[nodiscard]] util::TimePoint first_time() const noexcept;
-  [[nodiscard]] util::TimePoint last_time() const noexcept;
+  [[nodiscard]] util::TimePoint first_time() const;
+  [[nodiscard]] util::TimePoint last_time() const;
 
   /// All records with begin <= time < end, as a contiguous span.
   [[nodiscard]] std::span<const LogRecord> range(util::TimePoint begin,
-                                                 util::TimePoint end) const noexcept;
+                                                 util::TimePoint end) const;
 
   /// Indexes (into records()) of this node's records within [begin, end).
   [[nodiscard]] std::vector<std::uint32_t> node_range(platform::NodeId node,
@@ -59,18 +64,26 @@ class LogStore {
                                                       util::TimePoint end) const;
 
   /// Total count of records of `type`.
-  [[nodiscard]] std::size_t count_of_type(EventType type) const noexcept;
+  [[nodiscard]] std::size_t count_of_type(EventType type) const;
 
   /// All record indexes for a node (time-ordered).
-  [[nodiscard]] std::span<const std::uint32_t> node_index(platform::NodeId node) const noexcept;
+  [[nodiscard]] std::span<const std::uint32_t> node_index(platform::NodeId node) const;
 
   /// All record indexes for an event type (time-ordered).
-  [[nodiscard]] std::span<const std::uint32_t> type_index(EventType type) const noexcept;
+  [[nodiscard]] std::span<const std::uint32_t> type_index(EventType type) const;
 
   /// Distinct node ids appearing in the store.
   [[nodiscard]] std::vector<platform::NodeId> nodes() const;
 
  private:
+  /// Every query funnels through this: querying between add() and
+  /// finalize() would silently binary-search unsorted records and read
+  /// stale indexes, so it throws std::logic_error instead.  A
+  /// default-constructed store is trivially finalized (empty).
+  void require_finalized() const;
+
+  void build_indexes();
+
   [[nodiscard]] std::vector<std::uint32_t> filter_window(
       const std::vector<std::uint32_t>& index, util::TimePoint begin,
       util::TimePoint end) const;
@@ -80,7 +93,7 @@ class LogStore {
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_blade_;
   std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_cabinet_;
   std::vector<std::vector<std::uint32_t>> by_type_;
-  bool finalized_ = false;
+  bool finalized_ = true;
 };
 
 }  // namespace hpcfail::logmodel

@@ -1,0 +1,93 @@
+#include "logmodel/store_builder.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hpcfail::logmodel {
+
+namespace {
+bool time_less(const LogRecord& a, const LogRecord& b) noexcept { return a.time < b.time; }
+}  // namespace
+
+StoreBuilder::StoreBuilder(std::size_t shard_records)
+    : shard_records_(std::max<std::size_t>(1, shard_records)) {}
+
+void StoreBuilder::seal_current() {
+  if (current_.empty()) return;
+  shards_.push_back(std::move(current_));
+  current_ = {};
+}
+
+void StoreBuilder::append(LogRecord r) {
+  current_.push_back(std::move(r));
+  ++count_;
+  if (current_.size() >= shard_records_) seal_current();
+}
+
+void StoreBuilder::append_batch(std::vector<LogRecord> batch) {
+  if (batch.empty()) return;
+  count_ += batch.size();
+  if (current_.empty() && batch.size() >= shard_records_) {
+    shards_.push_back(std::move(batch));
+    return;
+  }
+  current_.insert(current_.end(), std::make_move_iterator(batch.begin()),
+                  std::make_move_iterator(batch.end()));
+  if (current_.size() >= shard_records_) seal_current();
+}
+
+LogStore StoreBuilder::build(util::ThreadPool* pool) {
+  seal_current();
+  std::vector<std::vector<LogRecord>> shards = std::move(shards_);
+  shards_ = {};
+  count_ = 0;
+
+  if (shards.empty()) return LogStore::from_sorted({});
+  if (shards.size() == 1) {
+    std::stable_sort(shards[0].begin(), shards[0].end(), time_less);
+    return LogStore::from_sorted(std::move(shards[0]));
+  }
+
+  const auto sort_shard = [&shards](std::size_t i) {
+    std::stable_sort(shards[i].begin(), shards[i].end(), time_less);
+  };
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(shards.size(), sort_shard);
+  } else {
+    for (std::size_t i = 0; i < shards.size(); ++i) sort_shard(i);
+  }
+
+  // K-way merge with a min-heap keyed (time, shard index).  Shards hold
+  // contiguous runs of the append sequence, so breaking time ties by shard
+  // index reproduces the order a global stable_sort would have produced.
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  std::vector<LogRecord> merged;
+  merged.reserve(total);
+
+  struct Head {
+    std::int64_t time_usec;
+    std::size_t shard;
+  };
+  const auto later = [](const Head& a, const Head& b) noexcept {
+    return a.time_usec != b.time_usec ? a.time_usec > b.time_usec : a.shard > b.shard;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(later)> heap(later);
+  std::vector<std::size_t> cursor(shards.size(), 0);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    if (!shards[s].empty()) heap.push(Head{shards[s][0].time.usec, s});
+  }
+  while (!heap.empty()) {
+    const std::size_t s = heap.top().shard;
+    heap.pop();
+    merged.push_back(std::move(shards[s][cursor[s]]));
+    if (++cursor[s] < shards[s].size()) {
+      heap.push(Head{shards[s][cursor[s]].time.usec, s});
+    } else {
+      shards[s] = {};  // release the drained shard's memory early
+    }
+  }
+  return LogStore::from_sorted(std::move(merged));
+}
+
+}  // namespace hpcfail::logmodel

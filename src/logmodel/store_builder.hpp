@@ -1,0 +1,53 @@
+// Sharded LogStore construction for the streaming ingestion pipeline.
+//
+// The bulk-build path used to be "concatenate every record, then one global
+// stable_sort" — fine in RAM, hostile at production scale.  StoreBuilder
+// instead accumulates records into bounded shards, stably sorts each shard
+// by time (in parallel when a pool is supplied), and k-way-merges the
+// sorted shards into the final record vector.
+//
+// Ordering contract: append() calls must arrive in the same global sequence
+// the in-memory path would have used (per-source line order, sources in
+// parse order).  Each shard then covers a contiguous run of that sequence,
+// so merging with ties broken by shard index reproduces the global
+// stable_sort byte for byte — the ingestion equivalence suite pins this.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "logmodel/log_store.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpcfail::logmodel {
+
+class StoreBuilder {
+ public:
+  /// `shard_records` bounds how many records a shard holds before it is
+  /// sealed; 0 is clamped to 1.
+  explicit StoreBuilder(std::size_t shard_records = kDefaultShardRecords);
+
+  static constexpr std::size_t kDefaultShardRecords = 1 << 16;
+
+  void append(LogRecord r);
+  /// Moves a whole parsed chunk in (cheaper than record-at-a-time).
+  void append_batch(std::vector<LogRecord> batch);
+
+  [[nodiscard]] std::size_t record_count() const noexcept { return count_; }
+  /// Shards sealed so far (the open shard is not counted).
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Sorts every shard (on `pool` when non-null), merges, and returns the
+  /// finalized store.  The builder is left empty and reusable.
+  [[nodiscard]] LogStore build(util::ThreadPool* pool = nullptr);
+
+ private:
+  void seal_current();
+
+  std::vector<std::vector<LogRecord>> shards_;  ///< sealed, unsorted until build()
+  std::vector<LogRecord> current_;              ///< open shard
+  std::size_t shard_records_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace hpcfail::logmodel

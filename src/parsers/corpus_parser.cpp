@@ -12,28 +12,15 @@ namespace hpcfail::parsers {
 using logmodel::LogRecord;
 using logmodel::LogSource;
 
-namespace {
-
-std::vector<std::string_view> split_lines(const std::string& text) {
-  std::vector<std::string_view> lines;
-  std::size_t start = 0;
-  while (start < text.size()) {
-    std::size_t end = text.find('\n', start);
-    if (end == std::string::npos) end = text.size();
-    if (end > start) lines.push_back(std::string_view(text).substr(start, end - start));
-    start = end + 1;
-  }
-  return lines;
-}
-
-}  // namespace
+using util::split_lines;
 
 ParsedCorpus parse_corpus(const loggen::Corpus& corpus, util::ThreadPool* pool) {
   ParsedCorpus out{corpus.system, platform::Topology{corpus.system.topology},
                    {}, {}, 0, 0, 0};
   util::ThreadPool& workers = pool != nullptr ? *pool : util::default_pool();
 
-  const ParseContext ctx{&out.topology, util::civil_time(corpus.begin).year};
+  const auto begin_civil = util::civil_time(corpus.begin);
+  const ParseContext ctx{&out.topology, begin_civil.year, begin_civil.month};
 
   struct SourceJob {
     LogSource source;

@@ -1,0 +1,185 @@
+#include "parsers/ingest.hpp"
+
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+#include "logmodel/store_builder.hpp"
+#include "parsers/source_parsers.hpp"
+#include "util/chunked_reader.hpp"
+#include "util/strings.hpp"
+#include "util/time.hpp"
+
+namespace hpcfail::parsers {
+
+using logmodel::LogRecord;
+using logmodel::LogSource;
+
+LineParseFn line_parser_for(LogSource source) noexcept {
+  switch (source) {
+    case LogSource::Console:
+    case LogSource::Consumer:
+      return &parse_console_line;
+    case LogSource::Messages:
+      return &parse_messages_line;
+    case LogSource::Controller:
+      return &parse_controller_line;
+    case LogSource::Erd:
+      return &parse_erd_line;
+    case LogSource::Scheduler:
+    default:
+      return nullptr;
+  }
+}
+
+namespace {
+
+/// Result of parsing one chunk's lines on a pool worker.
+struct ChunkResult {
+  std::vector<LogRecord> records;
+  std::size_t lines = 0;
+  std::size_t skipped = 0;
+};
+
+/// Parallel sources must retire in the same global sequence parse_corpus
+/// appends them, or time-tied records merge in a different order.
+constexpr LogSource kParallelOrder[] = {
+    LogSource::Console, LogSource::Consumer, LogSource::Messages,
+    LogSource::Controller, LogSource::Erd,
+};
+
+/// read -> parse -> shard pipeline over one source stream.  Chunks retire
+/// in submission order (FIFO), so the builder sees the file's line order
+/// no matter how the pool schedules the parse tasks.
+void ingest_parallel_source(std::istream& in, LineParseFn parse, const ParseContext& ctx,
+                            const IngestOptions& options, util::ThreadPool& pool,
+                            std::size_t inflight, logmodel::StoreBuilder& builder,
+                            std::size_t& total_lines, std::size_t& skipped) {
+  util::ChunkedLineReader reader(in, options.chunk_bytes);
+  std::deque<std::future<ChunkResult>> pending;
+
+  const auto retire_front = [&] {
+    ChunkResult r = pending.front().get();
+    pending.pop_front();
+    total_lines += r.lines;
+    skipped += r.skipped;
+    builder.append_batch(std::move(r.records));
+  };
+
+  std::string chunk;
+  try {
+    while (reader.next(chunk)) {
+      pending.push_back(
+          pool.submit([text = std::move(chunk), parse, &ctx]() -> ChunkResult {
+            ChunkResult r;
+            const auto lines = util::split_lines(text);
+            r.lines = lines.size();
+            r.records.reserve(lines.size());
+            for (const auto line : lines) {
+              if (auto rec = parse(line, ctx)) {
+                r.records.push_back(std::move(*rec));
+              } else {
+                ++r.skipped;
+              }
+            }
+            return r;
+          }));
+      chunk = {};
+      if (pending.size() >= inflight) retire_front();
+    }
+    while (!pending.empty()) retire_front();
+  } catch (...) {
+    // Queued tasks reference ctx on this frame; join them before unwinding.
+    for (auto& f : pending) {
+      if (f.valid()) f.wait();
+    }
+    throw;
+  }
+}
+
+void ingest_scheduler_source(std::istream& in, const ParseContext& ctx,
+                             const IngestOptions& options, jobs::JobTable& jobs,
+                             logmodel::StoreBuilder& builder, std::size_t& total_lines,
+                             std::size_t& skipped) {
+  util::ChunkedLineReader reader(in, options.chunk_bytes);
+  SchedulerLogParser sched(ctx, jobs);
+  std::string chunk;
+  while (reader.next(chunk)) {
+    for (const auto line : util::split_lines(chunk)) {
+      ++total_lines;
+      if (auto rec = sched.parse_line(line)) {
+        builder.append(std::move(*rec));
+      } else {
+        ++skipped;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ParsedCorpus ingest_stream(const loggen::Corpus& header,
+                           const std::vector<SourceStream>& sources,
+                           const IngestOptions& options) {
+  ParsedCorpus out{header.system, platform::Topology{header.system.topology},
+                   {}, {}, 0, 0, 0};
+  util::ThreadPool& pool = options.pool != nullptr ? *options.pool : util::default_pool();
+  const std::size_t inflight = options.max_inflight_chunks != 0
+                                   ? options.max_inflight_chunks
+                                   : 2 * pool.size();
+
+  const auto begin_civil = util::civil_time(header.begin);
+  const ParseContext ctx{&out.topology, begin_civil.year, begin_civil.month};
+
+  const auto stream_of = [&sources](LogSource s) -> std::istream* {
+    for (const auto& src : sources) {
+      if (src.source == s) return src.in;
+    }
+    return nullptr;
+  };
+
+  logmodel::StoreBuilder builder(options.shard_records);
+  std::size_t skipped = 0;
+
+  for (const LogSource source : kParallelOrder) {
+    std::istream* in = stream_of(source);
+    if (in == nullptr) continue;
+    ingest_parallel_source(*in, line_parser_for(source), ctx, options, pool, inflight,
+                           builder, out.total_lines, skipped);
+  }
+
+  if (std::istream* in = stream_of(LogSource::Scheduler)) {
+    ingest_scheduler_source(*in, ctx, options, out.jobs, builder, out.total_lines,
+                            skipped);
+  }
+  out.jobs.finalize();
+
+  out.skipped_lines = skipped;
+  out.parsed_records = builder.record_count();
+  out.store = builder.build(&pool);
+  return out;
+}
+
+ParsedCorpus ingest_files(const std::string& dir, const IngestOptions& options) {
+  namespace fs = std::filesystem;
+  const loggen::Corpus header = loggen::read_corpus_header(dir);
+
+  std::vector<std::ifstream> files;
+  std::vector<SourceStream> sources;
+  files.reserve(logmodel::kLogSourceCount);
+  sources.reserve(logmodel::kLogSourceCount);
+  for (std::size_t i = 0; i < logmodel::kLogSourceCount; ++i) {
+    const auto source = static_cast<LogSource>(i);
+    const fs::path path = fs::path(dir) / loggen::source_file_name(source);
+    std::ifstream file(path, std::ios::binary);
+    if (!file) continue;  // absent source (e.g. no ERD on S5)
+    files.push_back(std::move(file));
+    sources.push_back(SourceStream{source, &files.back()});
+  }
+  return ingest_stream(header, sources, options);
+}
+
+}  // namespace hpcfail::parsers

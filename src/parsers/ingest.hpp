@@ -1,0 +1,71 @@
+// Streaming, bounded-memory corpus ingestion: per-source log files ->
+// finalized LogStore + JobTable, without ever holding a full source text
+// or a full line-view vector in memory.
+//
+// The pipeline per non-scheduler source:
+//
+//   ChunkedLineReader --chunk--> ThreadPool parse task --records--> StoreBuilder
+//
+// The reader hands out fixed-size chunks split on line boundaries; up to
+// `max_inflight_chunks` chunks are being parsed concurrently while the
+// next one is read (read -> parse -> shard pipelining); parsed chunks are
+// retired in submission order, so the record sequence reaching the
+// sharded builder is exactly the file's line order.  Peak text residency
+// is chunk_bytes x (inflight + 1) instead of the corpus size.
+//
+// The scheduler source is parsed sequentially (its lines mutate the
+// JobTable in order) but still streams chunk by chunk.
+//
+// Equivalence guarantee, pinned by tests/ingest_test.cpp: for the same
+// corpus bytes, ingest_files() and the in-memory parse_corpus() produce
+// identical ParsedCorpus contents (record order, indexes, line counts).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "parsers/corpus_parser.hpp"
+#include "parsers/source_parsers.hpp"
+
+namespace hpcfail::parsers {
+
+struct IngestOptions {
+  /// Target chunk size in bytes; a chunk grows past this only when a
+  /// single line is longer.
+  std::size_t chunk_bytes = std::size_t{1} << 20;
+  /// Chunks parsed concurrently per source; 0 means 2 x pool size.
+  std::size_t max_inflight_chunks = 0;
+  /// Records per StoreBuilder shard (bounds the per-shard sort).
+  std::size_t shard_records = std::size_t{1} << 16;
+  /// Pool for chunk parsing and shard sorting; null = shared default pool.
+  util::ThreadPool* pool = nullptr;
+};
+
+/// One open source stream; `in` must outlive the ingest call.
+struct SourceStream {
+  logmodel::LogSource source;
+  std::istream* in = nullptr;
+};
+
+/// Streams a corpus directory (manifest.txt + per-source log files, as
+/// written by loggen::write_corpus).  Absent source files are skipped,
+/// mirroring read_corpus.  Throws on a missing/malformed manifest.
+[[nodiscard]] ParsedCorpus ingest_files(const std::string& dir,
+                                        const IngestOptions& options = {});
+
+/// Lower-level entry: `header` carries the manifest fields (system,
+/// topology, window); `sources` are parsed in the canonical source order
+/// regardless of their order in the vector.
+[[nodiscard]] ParsedCorpus ingest_stream(const loggen::Corpus& header,
+                                         const std::vector<SourceStream>& sources,
+                                         const IngestOptions& options = {});
+
+/// The stateless per-line parser the parallel path uses for `source`
+/// (nullptr for LogSource::Scheduler, which is stateful).
+using LineParseFn = std::optional<logmodel::LogRecord> (*)(std::string_view,
+                                                           const ParseContext&);
+[[nodiscard]] LineParseFn line_parser_for(logmodel::LogSource source) noexcept;
+
+}  // namespace hpcfail::parsers

@@ -104,7 +104,7 @@ std::optional<LogRecord> parse_console_line(std::string_view line,
 std::optional<LogRecord> parse_messages_line(std::string_view line,
                                              const ParseContext& ctx) noexcept {
   if (ctx.topo == nullptr || line.size() < 16) return std::nullopt;
-  const auto time = util::parse_syslog(line.substr(0, 15), ctx.base_year);
+  const auto time = util::parse_syslog(line.substr(0, 15), ctx.base_year, ctx.base_month);
   if (!time) return std::nullopt;
   std::string_view rest = util::trim(line.substr(15));
 

@@ -14,8 +14,13 @@ namespace hpcfail::parsers {
 
 struct ParseContext {
   const platform::Topology* topo = nullptr;
-  /// Year assumed for syslog timestamps (they carry none).
+  /// Year of the corpus window's first day; syslog timestamps carry none.
   int base_year = 1970;
+  /// Month (1..12) of the window's first day.  Syslog months calendar-
+  /// earlier than this belong to base_year + 1, so a corpus straddling
+  /// New Year dates its post-rollover lines correctly (valid for windows
+  /// shorter than 12 months; stateless, hence shard-order independent).
+  int base_month = 1;
 };
 
 /// console / consumer: ISO_TS <nodename> [<cname>] (kernel|hwerrd): <payload>

@@ -1,0 +1,37 @@
+#include "util/chunked_reader.hpp"
+
+#include <algorithm>
+
+namespace hpcfail::util {
+
+ChunkedLineReader::ChunkedLineReader(std::istream& in, std::size_t chunk_bytes)
+    : in_(in), chunk_bytes_(std::max<std::size_t>(1, chunk_bytes)) {}
+
+bool ChunkedLineReader::next(std::string& chunk) {
+  chunk.clear();
+  if (eof_ && carry_.empty()) return false;
+
+  chunk.swap(carry_);
+  // Grow until the chunk holds at least one complete line and is at least
+  // chunk_bytes_ long (or the stream ends).  Reading never splits a line:
+  // everything after the last '\n' is carried into the next call.
+  while (!eof_ && (chunk.size() < chunk_bytes_ || chunk.find('\n') == std::string::npos)) {
+    const std::size_t old_size = chunk.size();
+    chunk.resize(old_size + chunk_bytes_);
+    in_.read(chunk.data() + old_size, static_cast<std::streamsize>(chunk_bytes_));
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    chunk.resize(old_size + got);
+    if (got < chunk_bytes_) eof_ = true;
+  }
+
+  if (!eof_) {
+    const std::size_t last_nl = chunk.rfind('\n');
+    // The loop above guarantees a '\n' exists when !eof_.
+    carry_.assign(chunk, last_nl + 1, chunk.size() - last_nl - 1);
+    chunk.resize(last_nl + 1);
+  }
+  bytes_read_ += chunk.size();
+  return !chunk.empty();
+}
+
+}  // namespace hpcfail::util

@@ -1,0 +1,44 @@
+// Bounded-memory text chunking for the streaming ingestion pipeline.
+//
+// A ChunkedLineReader pulls fixed-size chunks out of an std::istream and
+// extends each chunk to the next line boundary, so every chunk a consumer
+// sees is a whole number of lines and a line is never split across two
+// chunks.  Memory use is O(chunk_bytes + longest line), independent of the
+// stream length — this is what lets parsers::ingest_files parse a corpus
+// far larger than RAM.
+//
+// Boundary behaviour:
+//   - a line longer than chunk_bytes is returned whole (the chunk grows);
+//   - a final line without a trailing '\n' is returned as-is;
+//   - CRLF line endings pass through untouched (util::split_lines strips
+//     the '\r' when the chunk is split into line views).
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <string>
+
+namespace hpcfail::util {
+
+class ChunkedLineReader {
+ public:
+  /// `chunk_bytes == 0` is clamped to 1.  The stream must outlive the reader.
+  explicit ChunkedLineReader(std::istream& in, std::size_t chunk_bytes);
+
+  /// Fills `chunk` with the next run of complete lines (~chunk_bytes of
+  /// text, extended to the last '\n'; the final chunk may lack one).
+  /// Returns false — with `chunk` empty — once the stream is exhausted.
+  [[nodiscard]] bool next(std::string& chunk);
+
+  /// Bytes handed out so far (chunk payloads, including newlines).
+  [[nodiscard]] std::size_t bytes_read() const noexcept { return bytes_read_; }
+
+ private:
+  std::istream& in_;
+  std::size_t chunk_bytes_;
+  std::string carry_;  ///< partial trailing line from the previous read
+  std::size_t bytes_read_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace hpcfail::util

@@ -31,6 +31,22 @@ std::vector<std::string_view> split(std::string_view s, char sep) {
   return out;
 }
 
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::size_t len = end - start;
+    // CRLF input: the '\r' is part of the terminator, not the payload —
+    // leaving it in makes every suffix-matching classifier silently fail.
+    if (len > 0 && text[start + len - 1] == '\r') --len;
+    if (len > 0) lines.push_back(text.substr(start, len));
+    start = end + 1;
+  }
+  return lines;
+}
+
 std::vector<std::string_view> split_ws(std::string_view s) {
   std::vector<std::string_view> out;
   std::size_t i = 0;

@@ -29,6 +29,10 @@ namespace hpcfail::util {
 /// Splits on a single character; empty fields are preserved.
 [[nodiscard]] std::vector<std::string_view> split(std::string_view s, char sep);
 
+/// Splits text into non-empty line views on '\n', stripping a trailing
+/// '\r' from each line (CRLF corpora parse identically to LF ones).
+[[nodiscard]] std::vector<std::string_view> split_lines(std::string_view text);
+
 /// Splits on runs of ASCII whitespace; empty fields are dropped.
 [[nodiscard]] std::vector<std::string_view> split_ws(std::string_view s);
 

@@ -173,6 +173,17 @@ std::optional<TimePoint> parse_syslog(std::string_view s, int year) noexcept {
   return make_time(year, month, day, h, mi, sec, 0);
 }
 
+std::optional<TimePoint> parse_syslog(std::string_view s, int base_year,
+                                      int base_month) noexcept {
+  const auto t = parse_syslog(s, base_year);
+  if (!t) return std::nullopt;
+  // The effective month comes from civil_time, not the token: "Feb 29"
+  // normalizes to Mar 1 in non-leap years, and the reparse below recovers
+  // the true leap day when the post-rollover year is leap.
+  if (civil_time(*t).month < base_month) return parse_syslog(s, base_year + 1);
+  return t;
+}
+
 std::string format_torque(TimePoint t) {
   const CivilTime c = civil_time(t);
   char buf[32];

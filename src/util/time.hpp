@@ -109,6 +109,14 @@ void civil_from_days(std::int64_t z, int& y, int& m, int& d) noexcept;
 /// supplies one.
 [[nodiscard]] std::optional<TimePoint> parse_syslog(std::string_view s, int year) noexcept;
 
+/// Year-rollover-aware syslog parse for a log window starting in
+/// (base_year, base_month): months earlier in the calendar than base_month
+/// belong to base_year + 1 (a Dec 31 -> Jan 1 window dates "Jan  1" lines
+/// into the next year).  Stateless, so parallel shards agree with a
+/// sequential month-regression scan for any window shorter than 12 months.
+[[nodiscard]] std::optional<TimePoint> parse_syslog(std::string_view s, int base_year,
+                                                    int base_month) noexcept;
+
 /// "03/02/2015 14:05:01" (Torque/PBS server-log style).
 [[nodiscard]] std::string format_torque(TimePoint t);
 [[nodiscard]] std::optional<TimePoint> parse_torque(std::string_view s) noexcept;

@@ -1,0 +1,7 @@
+// Minimal consistent corpus file-name table for the clean fixture tree.
+namespace hpcfail::loggen {
+namespace {
+constexpr std::array<std::string_view, 3> kFileNames = {
+    "p0-console.log", "controller.log", "scheduler.log"};
+}  // namespace
+}  // namespace hpcfail::loggen

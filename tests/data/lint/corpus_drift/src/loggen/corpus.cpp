@@ -1,0 +1,9 @@
+// Drifted corpus file-name table: a typo'd messages name, and the erd
+// entry the documentation promises is missing entirely.
+namespace hpcfail::loggen {
+namespace {
+constexpr std::array<std::string_view, 3> kFileNames = {
+    "p0-console.log", "p0-mesages.log",
+    "scheduler.log"};
+}  // namespace
+}  // namespace hpcfail::loggen

@@ -1,0 +1,220 @@
+// Streaming-ingestion equivalence suite: the file-backed chunked path
+// (ingest_files / ingest_stream) must produce byte-identical results to
+// the in-memory parse_corpus path — same records in the same order, same
+// job table, same line accounting — for every system preset and for any
+// chunk/shard geometry, including pathological one-byte chunks.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "faultsim/simulator.hpp"
+#include "loggen/corpus.hpp"
+#include "parsers/corpus_parser.hpp"
+#include "parsers/ingest.hpp"
+
+namespace hpcfail {
+namespace {
+
+using logmodel::LogRecord;
+using logmodel::LogSource;
+
+void expect_records_equal(const std::vector<LogRecord>& want,
+                          const std::vector<LogRecord>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    const LogRecord& a = want[i];
+    const LogRecord& b = got[i];
+    ASSERT_EQ(a.time.usec, b.time.usec) << "record " << i;
+    ASSERT_EQ(a.source, b.source) << "record " << i;
+    ASSERT_EQ(a.type, b.type) << "record " << i;
+    ASSERT_EQ(a.severity, b.severity) << "record " << i;
+    ASSERT_EQ(a.node, b.node) << "record " << i;
+    ASSERT_EQ(a.blade, b.blade) << "record " << i;
+    ASSERT_EQ(a.cabinet, b.cabinet) << "record " << i;
+    ASSERT_EQ(a.job_id, b.job_id) << "record " << i;
+    ASSERT_EQ(a.value, b.value) << "record " << i;
+    ASSERT_EQ(a.detail, b.detail) << "record " << i;
+  }
+}
+
+void expect_jobs_equal(const jobs::JobTable& want, const jobs::JobTable& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.jobs().size(); ++i) {
+    const jobs::JobInfo& a = want.jobs()[i];
+    const jobs::JobInfo& b = got.jobs()[i];
+    ASSERT_EQ(a.job_id, b.job_id) << "job " << i;
+    ASSERT_EQ(a.apid, b.apid) << "job " << i;
+    ASSERT_EQ(a.user, b.user) << "job " << i;
+    ASSERT_EQ(a.app_name, b.app_name) << "job " << i;
+    ASSERT_EQ(a.start.usec, b.start.usec) << "job " << i;
+    ASSERT_EQ(a.end.usec, b.end.usec) << "job " << i;
+    ASSERT_EQ(a.mem_per_node_gb, b.mem_per_node_gb) << "job " << i;
+    ASSERT_EQ(a.nodes, b.nodes) << "job " << i;
+    ASSERT_EQ(a.exit_code, b.exit_code) << "job " << i;
+    ASSERT_EQ(a.end_reason, b.end_reason) << "job " << i;
+    ASSERT_EQ(a.ended, b.ended) << "job " << i;
+    ASSERT_EQ(a.overallocated, b.overallocated) << "job " << i;
+    ASSERT_EQ(a.overallocated_nodes, b.overallocated_nodes) << "job " << i;
+    ASSERT_EQ(a.cancelled, b.cancelled) << "job " << i;
+  }
+}
+
+void expect_equivalent(const parsers::ParsedCorpus& want,
+                       const parsers::ParsedCorpus& got) {
+  EXPECT_EQ(want.system.label, got.system.label);
+  EXPECT_EQ(want.topology.node_count(), got.topology.node_count());
+  EXPECT_EQ(want.total_lines, got.total_lines);
+  EXPECT_EQ(want.parsed_records, got.parsed_records);
+  EXPECT_EQ(want.skipped_lines, got.skipped_lines);
+  expect_records_equal(want.store.records(), got.store.records());
+  expect_jobs_equal(want.jobs, got.jobs);
+}
+
+/// Writes `corpus` into a fresh directory under /tmp and returns the path.
+std::string write_to_temp(const loggen::Corpus& corpus, const char* tag) {
+  const std::string dir = std::string("/tmp/hpcfail_ingest_test_") + tag;
+  std::filesystem::remove_all(dir);
+  loggen::write_corpus(corpus, dir);
+  return dir;
+}
+
+struct IngestCase {
+  platform::SystemName system;
+  std::uint64_t seed;
+  const char* tag;
+};
+
+class IngestEquivalence : public ::testing::TestWithParam<IngestCase> {
+ protected:
+  void SetUp() override {
+    const auto sim =
+        faultsim::Simulator(faultsim::scenario_preset(GetParam().system, 2, GetParam().seed))
+            .run();
+    corpus_ = loggen::build_corpus(sim);
+    reference_ = std::make_unique<parsers::ParsedCorpus>(parsers::parse_corpus(corpus_));
+  }
+
+  void TearDown() override {
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  loggen::Corpus corpus_;
+  std::unique_ptr<parsers::ParsedCorpus> reference_;
+  std::string dir_;
+};
+
+TEST_P(IngestEquivalence, FilesMatchInMemoryParse) {
+  dir_ = write_to_temp(corpus_, GetParam().tag);
+  const auto streamed = parsers::ingest_files(dir_);
+  ASSERT_GT(streamed.parsed_records, 0u);
+  expect_equivalent(*reference_, streamed);
+}
+
+TEST_P(IngestEquivalence, TinyChunksAndShardsMatch) {
+  // Pathological geometry: 57-byte chunks (every line spans chunks) and
+  // 64-record shards force maximal splitting and merging.
+  dir_ = write_to_temp(corpus_, GetParam().tag);
+  parsers::IngestOptions options;
+  options.chunk_bytes = 57;
+  options.max_inflight_chunks = 3;
+  options.shard_records = 64;
+  expect_equivalent(*reference_, parsers::ingest_files(dir_, options));
+}
+
+TEST_P(IngestEquivalence, StreamEntryMatchesWithShuffledSourceOrder) {
+  // ingest_stream must parse in canonical source order no matter how the
+  // caller ordered the vector.
+  std::array<std::istringstream, logmodel::kLogSourceCount> streams;
+  std::vector<parsers::SourceStream> sources;
+  for (std::size_t i = logmodel::kLogSourceCount; i-- > 0;) {
+    streams[i].str(corpus_.text[i]);
+    sources.push_back({static_cast<LogSource>(i), &streams[i]});
+  }
+  expect_equivalent(*reference_, parsers::ingest_stream(corpus_, sources));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Presets, IngestEquivalence,
+    ::testing::Values(IngestCase{platform::SystemName::S1, 7001, "s1"},
+                      IngestCase{platform::SystemName::S2, 7002, "s2"},
+                      IngestCase{platform::SystemName::S5, 7005, "s5"}),
+    [](const auto& info) { return info.param.tag; });
+
+// ------------------------------------------------------------ edges ----
+
+loggen::Corpus small_corpus() {
+  const auto sim =
+      faultsim::Simulator(faultsim::scenario_preset(platform::SystemName::S2, 1, 99)).run();
+  return loggen::build_corpus(sim);
+}
+
+TEST(IngestEdgeTest, MissingManifestThrows) {
+  EXPECT_THROW(parsers::ingest_files("/tmp/hpcfail_no_such_dir_ingest"),
+               std::runtime_error);
+}
+
+TEST(IngestEdgeTest, ManifestOnlyDirectoryYieldsEmptyStore) {
+  loggen::Corpus corpus = small_corpus();
+  for (auto& text : corpus.text) text.clear();  // write_corpus skips empty files
+  const std::string dir = write_to_temp(corpus, "manifest_only");
+  const auto streamed = parsers::ingest_files(dir);
+  EXPECT_EQ(streamed.total_lines, 0u);
+  EXPECT_EQ(streamed.parsed_records, 0u);
+  EXPECT_EQ(streamed.store.size(), 0u);
+  EXPECT_EQ(streamed.jobs.size(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IngestEdgeTest, NoTrailingNewlineParsesLastLine) {
+  loggen::Corpus corpus = small_corpus();
+  auto& console = corpus.of(logmodel::LogSource::Console);
+  ASSERT_FALSE(console.empty());
+  console.pop_back();  // drop the final '\n'
+  const auto reference = parsers::parse_corpus(corpus);
+  const std::string dir = write_to_temp(corpus, "no_trailing_nl");
+  expect_equivalent(reference, parsers::ingest_files(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IngestEdgeTest, TruncatedFileMatchesTruncatedText) {
+  // A file chopped mid-line (e.g. copied while being written) must degrade
+  // exactly like the in-memory parse of the same truncated text: complete
+  // lines parse, the partial tail line is skipped, nothing crashes.
+  loggen::Corpus corpus = small_corpus();
+  auto& console = corpus.of(logmodel::LogSource::Console);
+  ASSERT_GT(console.size(), 100u);
+  console.resize(console.size() - 37);  // mid-line with high probability
+  const auto reference = parsers::parse_corpus(corpus);
+  const std::string dir = write_to_temp(corpus, "truncated");
+  expect_equivalent(reference, parsers::ingest_files(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IngestEdgeTest, EmptySourceFileIsSkipped) {
+  loggen::Corpus corpus = small_corpus();
+  corpus.of(logmodel::LogSource::Erd).clear();
+  const std::string dir = write_to_temp(corpus, "empty_file");
+  // Zero-byte file alongside real ones: opens fine, yields no lines.
+  std::ofstream(std::filesystem::path(dir) / "erd.log", std::ios::binary).close();
+  const auto reference = parsers::parse_corpus(corpus);
+  expect_equivalent(reference, parsers::ingest_files(dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IngestEdgeTest, SerialPoolMatchesSharedPool) {
+  const loggen::Corpus corpus = small_corpus();
+  const auto reference = parsers::parse_corpus(corpus);
+  const std::string dir = write_to_temp(corpus, "serial_pool");
+  util::ThreadPool serial(1);
+  parsers::IngestOptions options;
+  options.pool = &serial;
+  expect_equivalent(reference, parsers::ingest_files(dir, options));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hpcfail

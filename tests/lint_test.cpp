@@ -80,9 +80,23 @@ TEST(LintHeaderHygiene, MissingPragmaOnceAndUsingNamespaceAreDiagnosed) {
             }));
 }
 
+TEST(LintCorpusFiles, DriftedFileNameTableIsDiagnosedExactly) {
+  const Report report = run_checks(fixture("corpus_drift"), {"corpus-files"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/loggen/corpus.cpp:6: error: [corpus-files] 'p0-mesages.log' "
+                "(corpus file name) has no counterpart in FORMATS.md",
+                "FORMATS.md:6: error: [corpus-files] 'p0-messages.log' (documented "
+                "corpus file) has no counterpart in src/loggen/corpus.cpp",
+                "FORMATS.md:7: error: [corpus-files] 'erd.log' (documented corpus "
+                "file) has no counterpart in src/loggen/corpus.cpp",
+            }));
+}
+
 TEST(LintClean, ConsistentFixtureTreePasses) {
   const Report report = run_checks(
-      fixture("clean"), {"erd-table", "event-names", "banned-pattern", "header-hygiene"});
+      fixture("clean"), {"erd-table", "event-names", "corpus-files", "banned-pattern",
+                         "header-hygiene"});
   EXPECT_TRUE(report.ok()) << (report.ok() ? std::string{}
                                            : rendered(report).front());
 }

@@ -4,6 +4,11 @@
 #include "logmodel/cause.hpp"
 #include "logmodel/event_type.hpp"
 #include "logmodel/log_store.hpp"
+#include <stdexcept>
+
+#include "logmodel/store_builder.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hpcfail::logmodel {
 namespace {
@@ -158,6 +163,125 @@ TEST(LogStoreTest, EmptyStore) {
   EXPECT_EQ(store.size(), 0u);
   EXPECT_TRUE(store.range(util::TimePoint{0}, util::TimePoint{100}).empty());
   EXPECT_TRUE(store.nodes().empty());
+}
+
+TEST(LogStoreTest, DefaultConstructedStoreAnswersEveryQueryEmpty) {
+  // A default-constructed store is trivially finalized; every query must
+  // return the empty answer instead of indexing unbuilt tables (the
+  // type_range subscript used to be UB here).
+  const LogStore store;
+  const auto t0 = util::TimePoint{0};
+  const auto t9 = util::TimePoint::from_unix_seconds(9);
+  EXPECT_TRUE(store.finalized());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.type_range(EventType::KernelPanic, t0, t9).empty());
+  EXPECT_TRUE(store.type_index(EventType::KernelPanic).empty());
+  EXPECT_EQ(store.count_of_type(EventType::KernelPanic), 0u);
+  EXPECT_TRUE(store.node_range(platform::NodeId{1}, t0, t9).empty());
+  EXPECT_TRUE(store.node_index(platform::NodeId{1}).empty());
+  EXPECT_TRUE(store.range(t0, t9).empty());
+  EXPECT_EQ(store.first_time(), util::TimePoint{});
+  EXPECT_EQ(store.last_time(), util::TimePoint{});
+}
+
+TEST(LogStoreTest, QueriesOnNonFinalizedStoreThrow) {
+  LogStore store;
+  store.add(make_record(5, EventType::NodeBoot, 1));
+  ASSERT_FALSE(store.finalized());
+  const auto t0 = util::TimePoint{0};
+  const auto t9 = util::TimePoint::from_unix_seconds(9);
+  EXPECT_THROW((void)store.first_time(), std::logic_error);
+  EXPECT_THROW((void)store.last_time(), std::logic_error);
+  EXPECT_THROW((void)store.range(t0, t9), std::logic_error);
+  EXPECT_THROW((void)store.node_range(platform::NodeId{1}, t0, t9), std::logic_error);
+  EXPECT_THROW((void)store.blade_range(platform::BladeId{0}, t0, t9), std::logic_error);
+  EXPECT_THROW((void)store.cabinet_range(platform::CabinetId{0}, t0, t9), std::logic_error);
+  EXPECT_THROW((void)store.type_range(EventType::NodeBoot, t0, t9), std::logic_error);
+  EXPECT_THROW((void)store.count_of_type(EventType::NodeBoot), std::logic_error);
+  EXPECT_THROW((void)store.node_index(platform::NodeId{1}), std::logic_error);
+  EXPECT_THROW((void)store.type_index(EventType::NodeBoot), std::logic_error);
+  EXPECT_THROW((void)store.nodes(), std::logic_error);
+  store.finalize();
+  EXPECT_EQ(store.first_time().unix_seconds(), 5);
+}
+
+// ------------------------------------------------------- StoreBuilder ----
+
+/// Time-tied records tagged with their append order in `detail`; the
+/// sharded build must reproduce the global stable_sort order exactly.
+std::vector<LogRecord> tied_sequence(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<LogRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto r = make_record(rng.uniform_int(0, 49), EventType::KernelPanic,
+                         static_cast<std::uint32_t>(i % 7));
+    r.detail = std::to_string(i);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void expect_same_order(const LogStore& want, const LogStore& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i].time, got[i].time) << i;
+    ASSERT_EQ(want[i].detail, got[i].detail) << i;
+  }
+}
+
+TEST(StoreBuilderTest, MatchesGlobalStableSort) {
+  const auto sequence = tied_sequence(1000, 31);
+  const LogStore reference{std::vector<LogRecord>(sequence)};
+
+  StoreBuilder builder(64);  // ~16 shards
+  util::Rng rng(32);
+  std::size_t i = 0;
+  while (i < sequence.size()) {
+    // Mixed single appends and batches of arbitrary size, like the
+    // ingestion pipeline's chunk retirement produces.
+    const auto batch = static_cast<std::size_t>(rng.uniform_int(1, 150));
+    if (batch == 1) {
+      builder.append(sequence[i++]);
+    } else {
+      const std::size_t hi = std::min(sequence.size(), i + batch);
+      builder.append_batch({sequence.begin() + static_cast<std::ptrdiff_t>(i),
+                            sequence.begin() + static_cast<std::ptrdiff_t>(hi)});
+      i = hi;
+    }
+  }
+  EXPECT_EQ(builder.record_count(), sequence.size());
+  EXPECT_GT(builder.shard_count(), 1u);
+  expect_same_order(reference, builder.build());
+}
+
+TEST(StoreBuilderTest, ParallelShardSortMatchesSerial) {
+  const auto sequence = tied_sequence(500, 77);
+  const LogStore reference{std::vector<LogRecord>(sequence)};
+  util::ThreadPool pool(4);
+  StoreBuilder builder(32);
+  builder.append_batch(std::vector<LogRecord>(sequence));
+  expect_same_order(reference, builder.build(&pool));
+}
+
+TEST(StoreBuilderTest, OversizedBatchKeepsContiguity) {
+  // A batch larger than shard_records becomes its own shard; interleaving
+  // with single appends must still reproduce the stable order.
+  const auto sequence = tied_sequence(300, 5);
+  const LogStore reference{std::vector<LogRecord>(sequence)};
+  StoreBuilder builder(16);
+  builder.append(sequence[0]);
+  builder.append_batch({sequence.begin() + 1, sequence.begin() + 200});
+  for (std::size_t i = 200; i < sequence.size(); ++i) builder.append(sequence[i]);
+  expect_same_order(reference, builder.build());
+}
+
+TEST(StoreBuilderTest, EmptyBuildYieldsUsableStore) {
+  StoreBuilder builder;
+  const LogStore store = builder.build();
+  EXPECT_TRUE(store.finalized());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.count_of_type(EventType::KernelPanic), 0u);
 }
 
 }  // namespace

@@ -2,10 +2,13 @@
 // parsers, scheduler parsing, and parser totality under mutation (fuzz).
 #include <gtest/gtest.h>
 
+#include "faultsim/simulator.hpp"
+#include "loggen/corpus.hpp"
 #include "parsers/corpus_parser.hpp"
 #include "parsers/line_classifier.hpp"
 #include "parsers/source_parsers.hpp"
 #include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace hpcfail::parsers {
 namespace {
@@ -161,6 +164,22 @@ TEST(MessagesParserTest, SyslogTimestampAndJob) {
   EXPECT_EQ(r->type, EventType::NhcTestFail);
   EXPECT_EQ(r->job_id, 55);
   EXPECT_EQ(util::civil_time(r->time).year, 2015);
+}
+
+TEST(MessagesParserTest, YearRolloverAcrossNewYear) {
+  // A corpus window starting in December: syslog lines carry no year, so
+  // January lines must be dated into base_year + 1, not 11 months back.
+  const auto topo = s1_topology();
+  const ParseContext ctx{&topo, 2014, 12};
+  const auto dec = parse_messages_line(
+      "Dec 31 23:59:58 nid00042 nhc[2114]: NHC: memory test failed jobid=55", ctx);
+  const auto jan = parse_messages_line(
+      "Jan  1 00:00:07 nid00042 nhc[2114]: NHC: memory test failed jobid=55", ctx);
+  ASSERT_TRUE(dec.has_value());
+  ASSERT_TRUE(jan.has_value());
+  EXPECT_EQ(util::civil_time(dec->time).year, 2014);
+  EXPECT_EQ(util::civil_time(jan->time).year, 2015);
+  EXPECT_LT(dec->time, jan->time);
 }
 
 TEST(ControllerParserTest, BladeScopedWarningWithValue) {
@@ -356,6 +375,71 @@ TEST_P(ParserTotality, MutatedLinesNeverThrow) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserTotality, ::testing::Values(11u, 22u, 33u, 44u));
+
+// ------------------------------------------------ corpus-level parsing ----
+
+TEST(CorpusParseTest, NewYearStraddlingWindowDatesRecordsInWindow) {
+  // Dec 29 2014 + 5 days: most of the window is past New Year.  Syslog
+  // lines carry no year, so before the rollover fix every post-Jan-1
+  // messages record landed in January 2014 — eleven months early.
+  auto config = faultsim::scenario_preset(platform::SystemName::S2, 5, 1231);
+  config.begin = util::make_time(2014, 12, 29);
+  const auto sim = faultsim::Simulator(config).run();
+  const auto parsed = parse_corpus(loggen::build_corpus(sim));
+  ASSERT_GT(parsed.parsed_records, 0u);
+
+  const auto begin = config.begin;
+  // Job-end and recovery records may trail the nominal window; anything
+  // mis-dated by the rollover bug would be ~11 months out, far beyond this.
+  const auto end = config.end() + util::Duration::days(2);
+  for (const auto& r : parsed.store.records()) {
+    ASSERT_GE(r.time, begin) << util::format_iso(r.time);
+    ASSERT_LT(r.time, end) << util::format_iso(r.time);
+  }
+
+  // The syslog-stamped source must actually contribute post-rollover
+  // records, or the loop above proved nothing.
+  const auto newyear = util::make_time(2015, 1, 1);
+  bool messages_after_newyear = false;
+  for (const auto& r : parsed.store.records()) {
+    if (r.source == logmodel::LogSource::Messages && r.time >= newyear) {
+      messages_after_newyear = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(messages_after_newyear);
+}
+
+TEST(CorpusParseTest, CrlfCorpusParsesIdentically) {
+  // Corpora that passed through Windows tooling arrive CRLF-terminated;
+  // the parse must be byte-identical to the LF original.
+  const auto sim =
+      faultsim::Simulator(faultsim::scenario_preset(platform::SystemName::S2, 1, 77)).run();
+  const auto corpus = loggen::build_corpus(sim);
+  loggen::Corpus crlf = corpus;
+  for (auto& text : crlf.text) {
+    std::string converted;
+    converted.reserve(text.size() + text.size() / 40);
+    for (const char c : text) {
+      if (c == '\n') converted += '\r';
+      converted += c;
+    }
+    text = std::move(converted);
+  }
+
+  const auto want = parse_corpus(corpus);
+  const auto got = parse_corpus(crlf);
+  EXPECT_EQ(want.total_lines, got.total_lines);
+  EXPECT_EQ(want.parsed_records, got.parsed_records);
+  EXPECT_EQ(want.skipped_lines, got.skipped_lines);
+  ASSERT_EQ(want.store.size(), got.store.size());
+  for (std::size_t i = 0; i < want.store.size(); ++i) {
+    ASSERT_EQ(want.store[i].time, got.store[i].time) << i;
+    ASSERT_EQ(want.store[i].type, got.store[i].type) << i;
+    ASSERT_EQ(want.store[i].detail, got.store[i].detail) << i;
+  }
+  EXPECT_EQ(want.jobs.size(), got.jobs.size());
+}
 
 }  // namespace
 }  // namespace hpcfail::parsers

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <sstream>
 
+#include "util/chunked_reader.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -254,6 +256,39 @@ TEST(TimeTest, FormatDuration) {
   EXPECT_EQ(format_duration(-Duration::minutes(5)), "-5.0 min");
 }
 
+TEST(TimeTest, SyslogYearRollover) {
+  // Window starting Dec 2014: December lines stay in 2014, calendar-earlier
+  // months roll into 2015.
+  const auto dec = parse_syslog("Dec 31 23:59:58", 2014, 12);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(civil_time(*dec).year, 2014);
+  const auto jan = parse_syslog("Jan  1 00:00:03", 2014, 12);
+  ASSERT_TRUE(jan.has_value());
+  EXPECT_EQ(civil_time(*jan).year, 2015);
+  EXPECT_LT(dec->usec, jan->usec);
+  // A window that never crosses New Year is untouched by the base month.
+  const auto mar = parse_syslog("Mar  2 14:05:01", 2015, 2);
+  ASSERT_TRUE(mar.has_value());
+  EXPECT_EQ(civil_time(*mar).year, 2015);
+}
+
+TEST(TimeTest, SyslogYearRolloverLeapDay) {
+  // "Feb 29" does not exist in 2015; the plain parse normalizes it to
+  // Mar 1 (Hinnant extrapolation), and the Dec-window rollover reparse
+  // then recovers the true leap day in 2016.
+  const auto leap = parse_syslog("Feb 29 12:00:00", 2015, 12);
+  ASSERT_TRUE(leap.has_value());
+  const auto c = civil_time(*leap);
+  EXPECT_EQ(c.year, 2016);
+  EXPECT_EQ(c.month, 2);
+  EXPECT_EQ(c.day, 29);
+  // Without a crossed New Year the normalized date stands.
+  const auto plain = parse_syslog("Feb 29 12:00:00", 2015, 1);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(civil_time(*plain).month, 3);
+  EXPECT_EQ(civil_time(*plain).day, 1);
+}
+
 // ------------------------------------------------------------ strings ----
 
 TEST(StringsTest, TrimAndSplit) {
@@ -300,6 +335,91 @@ TEST(StringsTest, ExtractBetween) {
 TEST(StringsTest, StripPrefix) {
   EXPECT_EQ(strip_prefix("nid00042", "nid"), "00042");
   EXPECT_FALSE(strip_prefix("node42", "nid").has_value());
+}
+
+TEST(StringsTest, SplitLinesDropsEmptyAndHandlesMissingFinalNewline) {
+  const auto lines = split_lines("a\n\nbb\nccc");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "bb");
+  EXPECT_EQ(lines[2], "ccc");
+  EXPECT_TRUE(split_lines("").empty());
+  EXPECT_TRUE(split_lines("\n\n").empty());
+}
+
+TEST(StringsTest, SplitLinesStripsCarriageReturns) {
+  // CRLF corpora: the '\r' belongs to the terminator, not the payload.
+  const auto lines = split_lines("a\r\nbb\r\n\r\nc\r");
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "bb");
+  EXPECT_EQ(lines[2], "c");
+  // Only a single trailing '\r' is the terminator; interior ones stay.
+  const auto inner = split_lines("a\rb\r\n");
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(inner[0], "a\rb");
+}
+
+// ----------------------------------------------------- chunked reader ----
+
+TEST(ChunkedReaderTest, ReassemblesExactlyAndNeverSplitsALine) {
+  std::string text;
+  for (int i = 0; i < 200; ++i) {
+    text += "line number " + std::to_string(i) + " with some padding\n";
+  }
+  for (const std::size_t chunk_bytes : {std::size_t{1}, std::size_t{7},
+                                        std::size_t{64}, std::size_t{1} << 20}) {
+    std::istringstream in(text);
+    ChunkedLineReader reader(in, chunk_bytes);
+    std::string reassembled;
+    std::string chunk;
+    std::size_t chunks = 0;
+    while (reader.next(chunk)) {
+      ASSERT_FALSE(chunk.empty());
+      // Line-boundary invariant: every chunk ends on a terminator.
+      ASSERT_EQ(chunk.back(), '\n') << "chunk_bytes=" << chunk_bytes;
+      reassembled += chunk;
+      ++chunks;
+    }
+    EXPECT_EQ(reassembled, text) << "chunk_bytes=" << chunk_bytes;
+    EXPECT_EQ(reader.bytes_read(), text.size());
+    if (chunk_bytes >= text.size()) {
+      EXPECT_EQ(chunks, 1u);
+    }
+  }
+}
+
+TEST(ChunkedReaderTest, MissingFinalNewlineIsDelivered) {
+  std::istringstream in("aaa\nbbb\nccc");
+  ChunkedLineReader reader(in, 4);
+  std::string reassembled;
+  std::string chunk;
+  while (reader.next(chunk)) reassembled += chunk;
+  EXPECT_EQ(reassembled, "aaa\nbbb\nccc");
+}
+
+TEST(ChunkedReaderTest, EmptyStreamYieldsNothing) {
+  std::istringstream in("");
+  ChunkedLineReader reader(in, 1024);
+  std::string chunk;
+  EXPECT_FALSE(reader.next(chunk));
+  EXPECT_FALSE(reader.next(chunk));  // stays done
+  EXPECT_EQ(reader.bytes_read(), 0u);
+}
+
+TEST(ChunkedReaderTest, LineLongerThanChunkGrowsTheChunk) {
+  const std::string longline(10'000, 'x');
+  std::istringstream in(longline + "\nshort\n");
+  ChunkedLineReader reader(in, 16);
+  std::string chunk;
+  ASSERT_TRUE(reader.next(chunk));
+  // The first chunk must contain the whole long line, unsplit.
+  ASSERT_GE(chunk.size(), longline.size() + 1);
+  EXPECT_EQ(chunk.substr(0, longline.size()), longline);
+  EXPECT_EQ(chunk[longline.size()], '\n');
+  std::string reassembled = chunk;
+  while (reader.next(chunk)) reassembled += chunk;
+  EXPECT_EQ(reassembled, longline + "\nshort\n");
 }
 
 // -------------------------------------------------------------- table ----

@@ -112,6 +112,7 @@ constexpr const char* kRendererCpp = "src/loggen/renderer.cpp";
 constexpr const char* kClassifierCpp = "src/parsers/line_classifier.cpp";
 constexpr const char* kEventTypeHpp = "src/logmodel/event_type.hpp";
 constexpr const char* kEventTypeCpp = "src/logmodel/event_type.cpp";
+constexpr const char* kCorpusCpp = "src/loggen/corpus.cpp";
 constexpr const char* kFormatsMd = "FORMATS.md";
 
 /// EventType enumerators of event_type.hpp, in declaration order.
@@ -426,6 +427,58 @@ void check_formats_doc(const fs::path& root, Report& report) {
 }
 
 // ---------------------------------------------------------------------------
+// Check: corpus-files
+// ---------------------------------------------------------------------------
+
+void check_corpus_files(const fs::path& root, Report& report) {
+  const std::string check = "corpus-files";
+  const auto corpus = load(root, kCorpusCpp, check, report);
+  const auto doc = load(root, kFormatsMd, check, report);
+  if (!corpus || !doc) return;
+
+  const auto body = body_of(*corpus, "kFileNames");
+  if (!body) {
+    report.add(kCorpusCpp, 0, check, "no kFileNames array found");
+    return;
+  }
+  static const std::regex code_re(R"#("([A-Za-z0-9._-]+\.log)")#");
+  const auto code = scan(*corpus, *body, code_re);
+  if (code.empty()) {
+    report.add(kCorpusCpp, body->begin, check, "kFileNames lists no .log file names");
+  }
+
+  // The documented layout is the fenced block whose first entry is
+  // manifest.txt; entries are `<name>.log` at the start of a line.
+  std::size_t layout_begin = 0;
+  std::size_t layout_end = 0;
+  for (std::size_t i = 0; i < doc->lines.size(); ++i) {
+    if (layout_begin == 0 && doc->lines[i].rfind("manifest.txt", 0) == 0) {
+      layout_begin = i + 1;
+    } else if (layout_begin != 0 && doc->lines[i].rfind("```", 0) == 0) {
+      layout_end = i + 1;
+      break;
+    }
+  }
+  if (layout_begin == 0) {
+    report.add(kFormatsMd, 0, check,
+               "no corpus layout block found (fenced block starting with manifest.txt)");
+    return;
+  }
+  if (layout_end == 0) layout_end = doc->lines.size();
+  static const std::regex doc_re(R"(^([A-Za-z0-9._-]+\.log)\b)");
+  const auto documented = scan(*doc, LineRange{layout_begin, layout_end}, doc_re);
+  if (documented.empty()) {
+    report.add(kFormatsMd, layout_begin, check,
+               "corpus layout block documents no .log file names");
+  }
+
+  cross_check(code, kCorpusCpp, documented, kFormatsMd, check, "(corpus file name)",
+              report);
+  cross_check(documented, kFormatsMd, code, kCorpusCpp, check, "(documented corpus file)",
+              report);
+}
+
+// ---------------------------------------------------------------------------
 // Check: banned-pattern
 // ---------------------------------------------------------------------------
 
@@ -529,8 +582,8 @@ void check_header_hygiene(const fs::path& root, Report& report) {
 
 const std::vector<std::string>& all_check_names() {
   static const std::vector<std::string> names = {
-      "erd-table",      "event-names",     "payload-coverage",
-      "formats-doc",    "banned-pattern",  "header-hygiene",
+      "erd-table",      "event-names",     "payload-coverage", "formats-doc",
+      "corpus-files",   "banned-pattern",  "header-hygiene",
   };
   return names;
 }
@@ -542,6 +595,7 @@ Report run_checks(const fs::path& root, const std::vector<std::string>& checks) 
       {"event-names", &check_event_names},
       {"payload-coverage", &check_payload_coverage},
       {"formats-doc", &check_formats_doc},
+      {"corpus-files", &check_corpus_files},
       {"banned-pattern", &check_banned_patterns},
       {"header-hygiene", &check_header_hygiene},
   };

@@ -57,6 +57,11 @@ void check_payload_coverage(const std::filesystem::path& root, Report& report);
 /// event-name vocabulary equals the renderer's table.
 void check_formats_doc(const std::filesystem::path& root, Report& report);
 
+/// Corpus directory layout: the kFileNames table in src/loggen/corpus.cpp
+/// (what write_corpus/ingest_files actually use on disk) must match the
+/// file names documented in the FORMATS.md layout block, both directions.
+void check_corpus_files(const std::filesystem::path& root, Report& report);
+
 /// Repo invariants: no rand()/srand()/time(NULL)/std::random_device/mt19937
 /// in src/ (simulation must be deterministic through util::Rng).  Suppress a
 /// line with "hpcfail-lint: allow(banned-pattern)".
