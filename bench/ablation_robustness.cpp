@@ -3,7 +3,6 @@
 // environmental sources, measured as detection recall and lead-time
 // capability on degraded raw text.
 #include "bench_common.hpp"
-#include "core/leadtime.hpp"
 #include "loggen/degrade.hpp"
 
 int main() {
@@ -14,9 +13,13 @@ int main() {
       faultsim::Simulator(faultsim::scenario_preset(platform::SystemName::S1, 14, 910)).run();
   const auto corpus = loggen::build_corpus(sim);
 
-  auto recall_of = [&sim](const loggen::Corpus& c) {
+  // Degraded corpora re-enter the unified path at the parse step: one
+  // engine run per corpus yields failures and lead-time capability.
+  const core::AnalysisEngine engine;
+
+  auto recall_of = [&sim, &engine](const loggen::Corpus& c) {
     const auto parsed = parsers::parse_corpus(c);
-    const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+    const auto failures = engine.analyze(parsed).failures;
     std::size_t matched = 0;
     for (const auto& truth : sim.truth.failures) {
       for (const auto& f : failures) {
@@ -56,11 +59,9 @@ int main() {
   no_env.drop_source[static_cast<std::size_t>(logmodel::LogSource::Controller)] = true;
   const auto degraded = loggen::degrade_corpus(corpus, no_env);
   check.in_range("no-external recall", recall_of(degraded), 0.95, 1.0);
-  const auto parsed = parsers::parse_corpus(degraded);
-  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
-  const core::LeadTimeAnalyzer analyzer(parsed.store);
+  const auto no_env_analysis = engine.analyze(parsers::parse_corpus(degraded));
   check.in_range("no-external lead-time enhancements (must vanish)",
-                 static_cast<double>(analyzer.summarize(failures).enhanceable), 0, 0);
+                 static_cast<double>(no_env_analysis.lead_time_summary.enhanceable), 0, 0);
 
   // Corrupted lines are rejected, not crashed on.
   loggen::DegradeConfig corrupt;

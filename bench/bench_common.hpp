@@ -14,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "core/engine.hpp"
 #include "core/root_cause.hpp"
 #include "faultsim/simulator.hpp"
 #include "loggen/corpus.hpp"
@@ -26,16 +27,31 @@ struct Pipeline {
   faultsim::SimulationResult sim;
   loggen::Corpus corpus;
   parsers::ParsedCorpus parsed;
+  /// Full engine output over the scenario window (lead times, external
+  /// correspondence, clusters, breakdowns, ...).
+  core::AnalysisResult analysis;
+  /// Convenience alias of analysis.failures — what most benches consume.
   std::vector<core::AnalyzedFailure> failures;
 };
 
-/// Runs the canonical path on a scenario.
-inline Pipeline run_pipeline(faultsim::ScenarioConfig scenario) {
-  Pipeline p{faultsim::Simulator(std::move(scenario)).run(), {}, {}, {}};
+/// Runs the canonical path on an already-simulated system: render raw
+/// text, parse it back, then one AnalysisEngine run over the scenario
+/// window.  Benches that need non-default analysis knobs pass a config.
+inline Pipeline run_pipeline(faultsim::SimulationResult sim,
+                             const core::AnalysisConfig& config = {}) {
+  Pipeline p{std::move(sim), {}, {}, {}, {}};
   p.corpus = loggen::build_corpus(p.sim);
   p.parsed = parsers::parse_corpus(p.corpus);
-  p.failures = core::analyze_failures(p.parsed.store, &p.parsed.jobs);
+  p.analysis = core::AnalysisEngine(config).analyze(
+      p.parsed.store, &p.parsed.jobs, p.sim.config.begin, p.sim.config.end());
+  p.failures = p.analysis.failures;
   return p;
+}
+
+/// Runs the canonical path on a scenario.
+inline Pipeline run_pipeline(faultsim::ScenarioConfig scenario,
+                             const core::AnalysisConfig& config = {}) {
+  return run_pipeline(faultsim::Simulator(std::move(scenario)).run(), config);
 }
 
 inline Pipeline run_system(platform::SystemName system, int days, std::uint64_t seed) {

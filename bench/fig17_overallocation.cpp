@@ -11,10 +11,9 @@ int main() {
   using namespace hpcfail;
   bench::ShapeCheck check("Fig 17: over-allocation day (16 jobs)");
 
-  faultsim::SimulationResult sim = faultsim::overallocation_day(1717);
-  loggen::Corpus corpus = loggen::build_corpus(sim);
-  const auto parsed = parsers::parse_corpus(corpus);
-  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+  const auto p = bench::run_pipeline(faultsim::overallocation_day(1717));
+  const auto& parsed = p.parsed;
+  const auto& failures = p.failures;
 
   const core::JobAnalyzer analyzer(parsed.jobs, failures);
   const auto rows = analyzer.overallocation_report();

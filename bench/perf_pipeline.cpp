@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <regex>
 
+#include "core/engine.hpp"
 #include "core/root_cause.hpp"
 #include "faultsim/simulator.hpp"
 #include "loggen/corpus.hpp"
@@ -208,29 +209,36 @@ void BM_RenderCorpus(benchmark::State& state) {
 }
 BENCHMARK(BM_RenderCorpus);
 
-void BM_AnalyzeFailures(benchmark::State& state) {
-  static const logmodel::LogStore store = shared_sim().make_store();
-  static const jobs::JobTable table = jobs::JobTable::from_jobs(shared_sim().jobs);
-  std::size_t failures = 0;
-  for (auto _ : state) {
-    failures = core::analyze_failures(store, &table).size();
-  }
-  benchmark::DoNotOptimize(failures);
+/// One simulated week of S2 — the thread-scaling corpus for the analysis
+/// engine (S2 is the mid-size system; ~20x the nodes of S1's week).
+const faultsim::SimulationResult& shared_sim_s2() {
+  static const faultsim::SimulationResult sim =
+      faultsim::Simulator(faultsim::scenario_preset(platform::SystemName::S2, 7, 9090)).run();
+  return sim;
 }
-BENCHMARK(BM_AnalyzeFailures);
 
-/// Parallel diagnosis sharding (thread count as the argument).
-void BM_AnalyzeFailuresParallel(benchmark::State& state) {
-  static const logmodel::LogStore store = shared_sim().make_store();
-  static const jobs::JobTable table = jobs::JobTable::from_jobs(shared_sim().jobs);
+/// Thread-scaling of the unified AnalysisEngine on the S2-sized corpus:
+/// the per-failure stages (root-cause evidence collection, lead-time
+/// attribution) shard over the pool, everything else is the shared
+/// context build.  Acceptance tracks Arg(4) vs Arg(1) (>=1.5x in CI).
+void BM_AnalyzeFailures(benchmark::State& state) {
+  static const logmodel::LogStore store = shared_sim_s2().make_store();
+  static const jobs::JobTable table = jobs::JobTable::from_jobs(shared_sim_s2().jobs);
   util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  core::AnalysisConfig config;
+  config.pool = &pool;
+  const core::AnalysisEngine engine(config);
+  const auto begin = shared_sim_s2().config.begin;
+  const auto end = shared_sim_s2().config.end();
   std::size_t failures = 0;
   for (auto _ : state) {
-    failures = core::analyze_failures(store, &table, {}, {}, &pool).size();
+    failures = engine.analyze(store, &table, begin, end).failures.size();
   }
   benchmark::DoNotOptimize(failures);
+  state.counters["failures"] = static_cast<double>(failures);
 }
-BENCHMARK(BM_AnalyzeFailuresParallel)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_AnalyzeFailures)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -13,9 +13,8 @@ int main() {
                          "rationale"});
   std::size_t correct = 0;
   for (auto& cs : cases) {
-    const loggen::Corpus corpus = loggen::build_corpus(cs.sim);
-    const auto parsed = parsers::parse_corpus(corpus);
-    const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+    const auto p = bench::run_pipeline(std::move(cs.sim));
+    const auto& failures = p.failures;
 
     // The inference shown is the modal cause over the case's failures.
     std::array<std::size_t, logmodel::kRootCauseCount> counts{};

@@ -24,9 +24,8 @@
 #include <sstream>
 
 #include "core/advisor.hpp"
-#include "core/leadtime.hpp"
+#include "core/engine.hpp"
 #include "core/markdown_report.hpp"
-#include "core/report.hpp"
 #include "core/timeline.hpp"
 #include "faultsim/scenario_io.hpp"
 #include "core/root_cause.hpp"
@@ -114,9 +113,15 @@ int cmd_analyze(const std::string& dir) {
   std::cout << "parsed " << parsed.parsed_records << " records from " << parsed.total_lines
             << " lines (" << parsed.skipped_lines << " skipped)\n";
 
-  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+  // One engine run over the corpus window covers causes, lead times and
+  // everything else the summary lines below print.
+  const core::AnalysisEngine engine;
+  const auto analysis =
+      engine.analyze(parsed.store, &parsed.jobs, corpus.begin,
+                     corpus.begin + util::Duration::days(corpus.days));
+  const auto& failures = analysis.failures;
   std::cout << '\n'
-            << core::render_cause_table(core::cause_breakdown(failures),
+            << core::render_cause_table(analysis.breakdown,
                                         "Diagnosed failures (" + corpus.system.label + ")");
 
   util::TextTable table({"time", "node", "cause", "conf", "job", "rationale"});
@@ -132,8 +137,7 @@ int cmd_analyze(const std::string& dir) {
   }
   std::cout << '\n' << table.render();
 
-  const core::LeadTimeAnalyzer analyzer(parsed.store);
-  const auto summary = analyzer.summarize(failures);
+  const auto& summary = analysis.lead_time_summary;
   std::cout << "\nlead times: " << util::fmt_pct(summary.enhanceable_fraction())
             << " enhanceable via external indicators, mean factor "
             << util::fmt_double(summary.enhancement_factor(), 1) << "x\n";

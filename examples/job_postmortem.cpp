@@ -6,8 +6,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "core/engine.hpp"
 #include "core/job_analysis.hpp"
-#include "core/root_cause.hpp"
 #include "faultsim/special_scenarios.hpp"
 #include "loggen/corpus.hpp"
 #include "parsers/corpus_parser.hpp"
@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   const auto sim = faultsim::overallocation_day(seed);
   const auto corpus = loggen::build_corpus(sim);
   const auto parsed = parsers::parse_corpus(corpus);
-  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+  const auto analysis = core::AnalysisEngine().analyze(parsed);
+  const auto& failures = analysis.failures;
 
   const core::JobAnalyzer analyzer(parsed.jobs, failures);
   const auto report = analyzer.overallocation_report();

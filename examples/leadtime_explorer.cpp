@@ -8,8 +8,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/leadtime.hpp"
-#include "core/root_cause.hpp"
+#include "core/engine.hpp"
 #include "faultsim/simulator.hpp"
 #include "loggen/corpus.hpp"
 #include "parsers/corpus_parser.hpp"
@@ -33,13 +32,17 @@ int main(int argc, char** argv) {
   const auto sim = faultsim::Simulator(scenario).run();
   const auto corpus = loggen::build_corpus(sim);
   const auto parsed = parsers::parse_corpus(corpus);
-  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+
+  // One engine run: failures plus their default-config lead times.
+  const core::AnalysisEngine engine;
+  const auto analysis =
+      engine.analyze(parsed.store, &parsed.jobs, scenario.begin, scenario.end());
+  const auto& failures = analysis.failures;
   std::cout << "diagnosed " << failures.size() << " failures on " << corpus.system.label
             << " over " << days << " days\n\n";
 
   // Per-failure lead times (first 15 rows).
-  const core::LeadTimeAnalyzer analyzer(parsed.store);
-  const auto lead_times = analyzer.lead_times(failures);
+  const auto& lead_times = analysis.lead_times;
   util::TextTable table(
       {"node", "cause", "internal lead", "external lead", "gain"});
   std::size_t shown = 0;
@@ -58,7 +61,9 @@ int main(int argc, char** argv) {
   std::cout << table.render() << '\n';
 
   // Sweep the external correlation window: too narrow misses indicators,
-  // too wide starts matching ambient noise.
+  // too wide starts matching ambient noise.  The sweep drops below the
+  // facade to the LeadTimeAnalyzer so only the swept stage reruns (the
+  // predictor evaluation is not part of AnalysisResult).
   util::TextTable sweep({"window (min)", "enhanceable", "mean factor", "FP rate (gated)"});
   for (const int window : {10, 30, 60, 120, 240}) {
     core::LeadTimeConfig cfg;

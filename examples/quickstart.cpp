@@ -6,9 +6,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/leadtime.hpp"
-#include "core/report.hpp"
-#include "core/root_cause.hpp"
+#include "core/engine.hpp"
 #include "core/temporal.hpp"
 #include "faultsim/simulator.hpp"
 #include "loggen/corpus.hpp"
@@ -38,11 +36,15 @@ int main(int argc, char** argv) {
   std::cout << "parsed     " << parsed.parsed_records << " records ("
             << parsed.skipped_lines << " lines skipped)\n";
 
-  // 4. Detect failures and diagnose root causes.
-  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+  // 4. One engine run: detection, diagnosis, lead times, external
+  //    correspondence, clusters and breakdowns over the scenario window.
+  const core::AnalysisEngine engine;
+  const core::AnalysisResult analysis =
+      engine.analyze(parsed.store, &parsed.jobs, scenario.begin, scenario.end());
+  const auto& failures = analysis.failures;
   std::cout << "diagnosed  " << failures.size() << " node failures\n\n";
 
-  std::cout << core::render_cause_table(core::cause_breakdown(failures),
+  std::cout << core::render_cause_table(analysis.breakdown,
                                         "Root-cause breakdown (" + corpus.system.label + ", " +
                                             std::to_string(days) + " days)")
             << '\n';
@@ -57,14 +59,13 @@ int main(int argc, char** argv) {
               << " min (n=" << gaps.size() << ")\n";
   }
 
-  const core::LeadTimeAnalyzer leadtime(parsed.store);
-  const auto summary = leadtime.summarize(failures);
+  const auto& summary = analysis.lead_time_summary;
   std::cout << "lead-time enhanceable failures: "
             << util::fmt_pct(summary.enhanceable_fraction())
             << ", enhancement factor: " << util::fmt_double(summary.enhancement_factor(), 1)
             << "x\n";
 
-  const auto shares = core::layer_shares(failures);
+  const auto& shares = analysis.layers;
   std::cout << "layer shares: hardware " << util::fmt_pct(shares.hardware) << ", software "
             << util::fmt_pct(shares.software) << ", application "
             << util::fmt_pct(shares.application) << "\n";

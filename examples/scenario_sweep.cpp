@@ -9,8 +9,7 @@
 #include <iostream>
 #include <vector>
 
-#include "core/leadtime.hpp"
-#include "core/root_cause.hpp"
+#include "core/engine.hpp"
 #include "core/temporal.hpp"
 #include "faultsim/scenario_io.hpp"
 #include "faultsim/simulator.hpp"
@@ -57,13 +56,15 @@ int main(int argc, char** argv) {
     const auto sim = faultsim::Simulator(scenario).run();
     const auto corpus = loggen::build_corpus(sim);
     const auto parsed = parsers::parse_corpus(corpus);
-    const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+    const core::AnalysisEngine engine;
+    const auto analysis =
+        engine.analyze(parsed.store, &parsed.jobs, scenario.begin, scenario.end());
+    const auto& failures = analysis.failures;
 
     const core::TemporalAnalyzer temporal(failures);
     const auto gaps = temporal.inter_failure_minutes(scenario.begin, scenario.end());
     const stats::Ecdf ecdf{gaps};
-    const core::LeadTimeAnalyzer leadtime(parsed.store);
-    const auto lt = leadtime.summarize(failures);
+    const auto& lt = analysis.lead_time_summary;
 
     table.row()
         .cell(value)

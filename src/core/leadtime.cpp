@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
 #include <unordered_map>
 
 namespace hpcfail::core {
 
 using logmodel::EventType;
 using logmodel::LogRecord;
+
+LeadTimeAnalyzer::LeadTimeAnalyzer(const logmodel::LogStore& store, LeadTimeConfig config)
+    : store_(store), config_(config) {
+  if (!store.finalized()) {
+    throw std::logic_error(
+        "LeadTimeAnalyzer: store must be finalized before analysis (call "
+        "LogStore::finalize() after the last add())");
+  }
+}
 
 bool LeadTimeAnalyzer::quiet_before(platform::BladeId blade, platform::NodeId node,
                                     logmodel::EventType type,
@@ -61,10 +71,9 @@ bool LeadTimeAnalyzer::external_indicator_near(platform::NodeId node,
 }
 
 std::vector<FailureLeadTime> LeadTimeAnalyzer::lead_times(
-    const std::vector<AnalyzedFailure>& failures) const {
-  std::vector<FailureLeadTime> out;
-  out.reserve(failures.size());
-  for (std::size_t i = 0; i < failures.size(); ++i) {
+    const std::vector<AnalyzedFailure>& failures, util::ThreadPool* pool) const {
+  std::vector<FailureLeadTime> out(failures.size());
+  const auto attribute = [&](std::size_t i) {
     const auto& f = failures[i];
     FailureLeadTime lt;
     lt.failure_index = i;
@@ -75,15 +84,28 @@ std::vector<FailureLeadTime> LeadTimeAnalyzer::lead_times(
         lt.external_lead = external_lead;
       }
     }
-    out.push_back(lt);
+    out[i] = lt;
+  };
+  // Each attribution reads only the immutable store and writes its own
+  // slot, so the sharded path assembles index-ordered and is identical to
+  // the serial loop.
+  if (pool != nullptr && failures.size() > 1) {
+    pool->parallel_for(failures.size(), attribute);
+  } else {
+    for (std::size_t i = 0; i < failures.size(); ++i) attribute(i);
   }
   return out;
 }
 
 LeadTimeSummary LeadTimeAnalyzer::summarize(
     const std::vector<AnalyzedFailure>& failures) const {
+  return summarize_lead_times(lead_times(failures));
+}
+
+LeadTimeSummary LeadTimeAnalyzer::summarize_lead_times(
+    const std::vector<FailureLeadTime>& lead_times) {
   LeadTimeSummary out;
-  for (const auto& lt : lead_times(failures)) {
+  for (const auto& lt : lead_times) {
     ++out.failures;
     out.internal_minutes.add(lt.internal_lead.to_minutes());
     if (lt.enhanceable()) {

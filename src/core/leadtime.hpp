@@ -66,15 +66,26 @@ struct PredictorEvaluation {
 
 class LeadTimeAnalyzer {
  public:
-  LeadTimeAnalyzer(const logmodel::LogStore& store, LeadTimeConfig config = {})
-      : store_(store), config_(config) {}
+  /// Keeps a reference to `store`, which must be finalized (throws
+  /// std::logic_error otherwise — fail loud at construction, not on the
+  /// first query against stale indexes).
+  LeadTimeAnalyzer(const logmodel::LogStore& store, LeadTimeConfig config = {});
 
-  /// Per-failure lead times; indexes parallel `failures`.
+  /// Per-failure lead times; indexes parallel `failures`.  When `pool` is
+  /// non-null the per-failure attributions (independent reads of the
+  /// immutable store) shard over it into disjoint slots; the result is
+  /// identical to the serial path.
   [[nodiscard]] std::vector<FailureLeadTime> lead_times(
-      const std::vector<AnalyzedFailure>& failures) const;
+      const std::vector<AnalyzedFailure>& failures,
+      util::ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] LeadTimeSummary summarize(
       const std::vector<AnalyzedFailure>& failures) const;
+
+  /// Aggregates already-computed per-failure lead times;
+  /// `summarize(failures)` == `summarize_lead_times(lead_times(failures))`.
+  [[nodiscard]] static LeadTimeSummary summarize_lead_times(
+      const std::vector<FailureLeadTime>& lead_times);
 
   /// Fig 14: evaluates the internal-pattern predictor. When
   /// `require_external` is set a node is only flagged when a correlated

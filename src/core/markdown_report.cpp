@@ -3,11 +3,7 @@
 #include <sstream>
 
 #include "core/advisor.hpp"
-#include "core/benign_faults.hpp"
-#include "core/clusters.hpp"
-#include "core/external_correlator.hpp"
-#include "core/leadtime.hpp"
-#include "core/report.hpp"
+#include "core/engine.hpp"
 #include "core/temporal.hpp"
 #include "core/timeline.hpp"
 #include "stats/ecdf.hpp"
@@ -27,9 +23,12 @@ std::string markdown_report(const ReportInputs& inputs) {
   if (inputs.jobs != nullptr) out << ", " << inputs.jobs->size() << " jobs";
   out << ".\n\n";
 
-  // --- failures & causes ---
-  const auto failures = analyze_failures(store, inputs.jobs);
-  const auto breakdown = cause_breakdown(failures);
+  // --- one engine run produces every section's numbers ---
+  const AnalysisEngine engine;
+  const AnalysisResult analysis = engine.analyze(store, inputs.jobs, inputs.begin,
+                                                 inputs.end);
+  const auto& failures = analysis.failures;
+  const auto& breakdown = analysis.breakdown;
   out << "## Failures and root causes\n\n";
   out << failures.size() << " node failures diagnosed.\n\n";
   out << "| Root cause | Count | Share |\n|---|---|---|\n";
@@ -39,7 +38,7 @@ std::string markdown_report(const ReportInputs& inputs) {
     out << "| " << to_string(cause) << " | " << breakdown.counts[i] << " | "
         << util::fmt_pct(breakdown.share(cause)) << " |\n";
   }
-  const auto shares = layer_shares(failures);
+  const auto& shares = analysis.layers;
   out << "\nLayer shares: hardware " << util::fmt_pct(shares.hardware) << ", software "
       << util::fmt_pct(shares.software) << ", application "
       << util::fmt_pct(shares.application) << "; application-triggered origin "
@@ -63,8 +62,7 @@ std::string markdown_report(const ReportInputs& inputs) {
     out << "On failure days, " << util::fmt_pct(dom.mean())
         << " of failures share the day's dominant cause on average.\n";
   }
-  const auto clusters = cluster_failures(failures);
-  const auto cluster_summary = summarize_clusters(clusters);
+  const auto& cluster_summary = analysis.cluster_summary;
   if (cluster_summary.clusters > 0) {
     out << "Failures form " << cluster_summary.clusters << " clusters (mean size "
         << util::fmt_double(cluster_summary.mean_size, 1) << ", max "
@@ -80,18 +78,14 @@ std::string markdown_report(const ReportInputs& inputs) {
   out << '\n';
 
   // --- external correlation & lead times ---
-  const ExternalCorrelator correlator(store, failures);
-  const auto nvf = correlator.correspondence(logmodel::EventType::NodeVoltageFault,
-                                             inputs.begin, inputs.end);
-  const auto nhf = correlator.correspondence(logmodel::EventType::NodeHeartbeatFault,
-                                             inputs.begin, inputs.end);
+  const auto& nvf = analysis.nvf;
+  const auto& nhf = analysis.nhf;
   out << "## External indicators\n\n";
   out << "- NVFs: " << nvf.faults << " observed, " << util::fmt_pct(nvf.fraction())
       << " correspond to failures.\n";
   out << "- NHFs: " << nhf.faults << " observed, " << util::fmt_pct(nhf.fraction())
       << " correspond to failures.\n";
-  const LeadTimeAnalyzer leadtime(store);
-  const auto lt = leadtime.summarize(failures);
+  const auto& lt = analysis.lead_time_summary;
   out << "- Lead times: " << util::fmt_pct(lt.enhanceable_fraction())
       << " of failures enhanceable via external indicators";
   if (lt.enhanceable > 0) {

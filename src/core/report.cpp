@@ -12,6 +12,10 @@ using logmodel::RootCause;
 
 CauseBreakdown cause_breakdown(const std::vector<AnalyzedFailure>& failures) {
   CauseBreakdown out;
+  // Empty input is a pinned no-op: all-zero counts, total 0, and share()
+  // stays 0.0 for every cause (never NaN) so callers can print percentages
+  // of a failure-free window unconditionally.
+  if (failures.empty()) return out;
   for (const auto& f : failures) {
     ++out.counts[static_cast<std::size_t>(f.inference.cause)];
     ++out.total;
@@ -21,6 +25,8 @@ CauseBreakdown cause_breakdown(const std::vector<AnalyzedFailure>& failures) {
 
 LayerShares layer_shares(const std::vector<AnalyzedFailure>& failures) {
   LayerShares out;
+  // Pinned empty-input behaviour: every share is 0.0 (the struct default),
+  // never 0/0 = NaN.
   if (failures.empty()) return out;
   std::size_t hw = 0, sw = 0, app = 0, unknown = 0, mem = 0, app_trig = 0;
   for (const auto& f : failures) {
@@ -44,6 +50,9 @@ LayerShares layer_shares(const std::vector<AnalyzedFailure>& failures) {
 }
 
 std::vector<ModuleUsage> stack_module_usage(const std::vector<AnalyzedFailure>& failures) {
+  // Pinned empty-input behaviour: no failures (or none with call traces)
+  // yields an empty table, not a row of empty module lists.
+  if (failures.empty()) return {};
   std::map<RootCause, std::map<std::string, std::size_t>> usage;
   for (const auto& f : failures) {
     if (f.inference.evidence.stack_modules.empty()) continue;

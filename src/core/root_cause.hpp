@@ -93,6 +93,11 @@ struct AnalyzedFailure {
 /// When `pool` is non-null the per-failure diagnoses (which are
 /// independent) run as parallel shards on it; results are identical to the
 /// serial path.
+///
+/// Deprecated shim: new code should go through core::AnalysisEngine
+/// (core/engine.hpp), which memoizes detection in a shared AnalysisContext
+/// and returns every analyzer's output in one AnalysisResult.  Kept for
+/// one PR so out-of-tree callers can migrate.
 [[nodiscard]] std::vector<AnalyzedFailure> analyze_failures(
     const logmodel::LogStore& store, const jobs::JobTable* jobs,
     const DetectorConfig& detector_config = {}, const RootCauseConfig& engine_config = {},

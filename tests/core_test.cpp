@@ -571,6 +571,57 @@ TEST(ReportTest, MarkdownReportContainsAllSections) {
   }
 }
 
+// Pinned: empty failure lists are a no-op for every report helper — zero
+// counts, 0.0 shares (never NaN), empty usage — and the rendered table and
+// Markdown report stay printable.
+TEST(ReportTest, EmptyFailuresArePinned) {
+  const std::vector<AnalyzedFailure> none;
+
+  const auto breakdown = cause_breakdown(none);
+  EXPECT_EQ(breakdown.total, 0u);
+  for (std::size_t i = 0; i < breakdown.counts.size(); ++i) {
+    const auto cause = static_cast<RootCause>(i);
+    EXPECT_EQ(breakdown.count(cause), 0u);
+    EXPECT_EQ(breakdown.share(cause), 0.0);  // exactly 0.0, not 0/0 = NaN
+  }
+
+  const auto shares = layer_shares(none);
+  EXPECT_EQ(shares.hardware, 0.0);
+  EXPECT_EQ(shares.software, 0.0);
+  EXPECT_EQ(shares.application, 0.0);
+  EXPECT_EQ(shares.unknown, 0.0);
+  EXPECT_EQ(shares.memory_exhaustion, 0.0);
+  EXPECT_EQ(shares.application_triggered, 0.0);
+
+  EXPECT_TRUE(stack_module_usage(none).empty());
+
+  // Rendering an empty breakdown yields just the total row, no NaN text.
+  const std::string table = render_cause_table(breakdown, "empty");
+  EXPECT_NE(table.find("total"), std::string::npos);
+  EXPECT_EQ(table.find("nan"), std::string::npos);
+  EXPECT_EQ(table.find("inf"), std::string::npos);
+}
+
+// Pinned: a failure-free window still renders a complete Markdown report
+// with 0-valued percentages (the engine's empty guards end-to-end).
+TEST(ReportTest, MarkdownReportOnFailureFreeWindow) {
+  std::vector<LogRecord> records;
+  records.push_back(rec(util::Duration::minutes(5), EventType::SedcTemperatureWarning, 1));
+  records.push_back(rec(util::Duration::minutes(9), EventType::NodeBoot, 2));
+  const logmodel::LogStore store{std::move(records)};
+  const platform::Topology topo;
+  ReportInputs inputs;
+  inputs.store = &store;
+  inputs.topology = &topo;
+  inputs.system_label = "EMPTY";
+  inputs.begin = kBase;
+  inputs.end = kBase + util::Duration::days(1);
+  const std::string report = markdown_report(inputs);
+  EXPECT_NE(report.find("0 node failures diagnosed"), std::string::npos);
+  EXPECT_EQ(report.find("nan"), std::string::npos);
+  EXPECT_EQ(report.find("-nan"), std::string::npos);
+}
+
 TEST(ReportTest, StackModuleUsage) {
   auto failures = synthetic_failures(
       {{0, RootCause::LustreBug}, {1, RootCause::LustreBug}, {2, RootCause::HardwareMce}});

@@ -1,0 +1,9 @@
+// Fixture: a figure bench that hand-wires the analysis instead of going
+// through the shared bench pipeline facade.
+#include "core/root_cause.hpp"
+
+int main() {
+  const auto parsed = make_parsed();
+  const auto failures = hpcfail::core::analyze_failures(parsed.store, &parsed.jobs);
+  return failures.empty() ? 1 : 0;
+}

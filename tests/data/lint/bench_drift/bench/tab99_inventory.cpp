@@ -1,0 +1,8 @@
+// Fixture: a table bench with no failure analysis at all, suppressed via
+// the allow comment. hpcfail-lint: allow(bench-pipeline)
+#include <cstdio>
+
+int main() {
+  std::puts("inventory");
+  return 0;
+}

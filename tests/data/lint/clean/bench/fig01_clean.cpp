@@ -1,0 +1,7 @@
+// Fixture: a figure bench that routes through the shared pipeline.
+#include "bench_common.hpp"
+
+int main() {
+  const auto p = bench::run_pipeline(make_scenario());
+  return p.failures.empty() ? 1 : 0;
+}

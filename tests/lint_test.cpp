@@ -93,10 +93,31 @@ TEST(LintCorpusFiles, DriftedFileNameTableIsDiagnosedExactly) {
             }));
 }
 
+TEST(LintBenchPipeline, HandWiredFigureBenchIsDiagnosed) {
+  const Report report = run_checks(fixture("bench_drift"), {"bench-pipeline"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "bench/fig99_handwired.cpp:7: error: [bench-pipeline] figure bench "
+                "calls analyze_failures() directly; route it through "
+                "bench::run_pipeline or core::AnalysisEngine",
+                "bench/fig99_handwired.cpp:1: error: [bench-pipeline] figure bench "
+                "never uses bench::run_pipeline/run_system or core::AnalysisEngine; "
+                "hand-wired analysis drifts from the shared pipeline",
+            }));
+}
+
+TEST(LintBenchPipeline, MissingBenchDirectoryIsDiagnosed) {
+  const Report report = run_checks(fixture("hygiene"), {"bench-pipeline"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "bench:0: error: [bench-pipeline] no bench/ directory under repo root",
+            }));
+}
+
 TEST(LintClean, ConsistentFixtureTreePasses) {
   const Report report = run_checks(
       fixture("clean"), {"erd-table", "event-names", "corpus-files", "banned-pattern",
-                         "header-hygiene"});
+                         "header-hygiene", "bench-pipeline"});
   EXPECT_TRUE(report.ok()) << (report.ok() ? std::string{}
                                            : rendered(report).front());
 }

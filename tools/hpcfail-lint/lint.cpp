@@ -577,13 +577,65 @@ void check_header_hygiene(const fs::path& root, Report& report) {
 }
 
 // ---------------------------------------------------------------------------
+// Check: bench-pipeline
+// ---------------------------------------------------------------------------
+
+void check_bench_pipeline(const fs::path& root, Report& report) {
+  const std::string check = "bench-pipeline";
+  const fs::path bench = root / "bench";
+  if (!fs::exists(bench)) {
+    report.add("bench", 0, check, "no bench/ directory under repo root");
+    return;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(bench)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() != ".cpp") continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("fig", 0) != 0 && name.rfind("tab", 0) != 0) continue;
+    files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  static const std::regex direct_call(R"(\banalyze_failures\s*\()");
+  static const std::regex pipeline_use(
+      R"(\b(run_pipeline|run_system)\s*\(|\bAnalysisEngine\b)");
+  for (const auto& path : files) {
+    const std::string rel = fs::relative(path, root).generic_string();
+    const auto file = load(root, rel, check, report);
+    if (!file) continue;
+    bool uses_pipeline = false;
+    bool allowed = false;
+    for (std::size_t n = 1; n <= file->lines.size(); ++n) {
+      const std::string& text = file->lines[n - 1];
+      if (text.find("hpcfail-lint: allow(bench-pipeline)") != std::string::npos) {
+        allowed = true;
+        continue;
+      }
+      if (std::regex_search(text, pipeline_use)) uses_pipeline = true;
+      if (std::regex_search(text, direct_call)) {
+        report.add(rel, n, check,
+                   "figure bench calls analyze_failures() directly; route it through "
+                   "bench::run_pipeline or core::AnalysisEngine");
+      }
+    }
+    if (!uses_pipeline && !allowed) {
+      report.add(rel, 1, check,
+                 "figure bench never uses bench::run_pipeline/run_system or "
+                 "core::AnalysisEngine; hand-wired analysis drifts from the shared "
+                 "pipeline");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------------
 
 const std::vector<std::string>& all_check_names() {
   static const std::vector<std::string> names = {
       "erd-table",      "event-names",     "payload-coverage", "formats-doc",
-      "corpus-files",   "banned-pattern",  "header-hygiene",
+      "corpus-files",   "banned-pattern",  "header-hygiene",   "bench-pipeline",
   };
   return names;
 }
@@ -598,6 +650,7 @@ Report run_checks(const fs::path& root, const std::vector<std::string>& checks) 
       {"corpus-files", &check_corpus_files},
       {"banned-pattern", &check_banned_patterns},
       {"header-hygiene", &check_header_hygiene},
+      {"bench-pipeline", &check_bench_pipeline},
   };
   Report report;
   const std::vector<std::string>& selected = checks.empty() ? all_check_names() : checks;

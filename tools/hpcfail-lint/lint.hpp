@@ -71,6 +71,13 @@ void check_banned_patterns(const std::filesystem::path& root, Report& report);
 /// and no header pollutes includers with `using namespace`.
 void check_header_hygiene(const std::filesystem::path& root, Report& report);
 
+/// Figure/table benches (bench/fig*.cpp, bench/tab*.cpp) must route their
+/// analysis through bench::run_pipeline/run_system or core::AnalysisEngine —
+/// never a private analyze_failures() wiring, which drifts from the shared
+/// pipeline.  Suppress a file with "hpcfail-lint: allow(bench-pipeline)"
+/// (for benches that do no failure analysis at all).
+void check_bench_pipeline(const std::filesystem::path& root, Report& report);
+
 /// All known check names, in execution order.
 [[nodiscard]] const std::vector<std::string>& all_check_names();
 
