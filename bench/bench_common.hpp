@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -19,9 +21,43 @@
 #include "faultsim/simulator.hpp"
 #include "loggen/corpus.hpp"
 #include "parsers/corpus_parser.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
+#include "util/trace.hpp"
 
 namespace hpcfail::bench {
+
+namespace detail {
+
+/// Process-lifetime observability sinks for the benches.  The fig*/tab*
+/// binaries have no flag parsing, so the sinks arm from the environment:
+///   HPCFAIL_METRICS_OUT=metrics.json  HPCFAIL_TRACE_OUT=trace.json  ./fig03
+/// Sinks accumulate across every run_pipeline call in the process and the
+/// files are written once, during static destruction at exit.  With neither
+/// variable set nothing is installed and the pipeline runs dark.
+struct ObservabilitySinks {
+  std::string metrics_path;
+  std::string trace_path;
+  util::MetricsRegistry registry;
+  util::TraceRecorder recorder;
+
+  ObservabilitySinks() {
+    if (const char* p = std::getenv("HPCFAIL_METRICS_OUT")) metrics_path = p;
+    if (const char* p = std::getenv("HPCFAIL_TRACE_OUT")) trace_path = p;
+    if (!metrics_path.empty()) util::install_metrics(&registry);
+    if (!trace_path.empty()) util::install_trace(&recorder);
+  }
+  ~ObservabilitySinks() {
+    util::install_metrics(nullptr);
+    util::install_trace(nullptr);
+    if (!metrics_path.empty()) std::ofstream(metrics_path) << registry.to_json() << '\n';
+    if (!trace_path.empty()) std::ofstream(trace_path) << recorder.to_chrome_json() << '\n';
+  }
+};
+
+inline void observability_bootstrap() { static ObservabilitySinks sinks; }
+
+}  // namespace detail
 
 struct Pipeline {
   faultsim::SimulationResult sim;
@@ -39,11 +75,21 @@ struct Pipeline {
 /// window.  Benches that need non-default analysis knobs pass a config.
 inline Pipeline run_pipeline(faultsim::SimulationResult sim,
                              const core::AnalysisConfig& config = {}) {
+  detail::observability_bootstrap();
   Pipeline p{std::move(sim), {}, {}, {}, {}};
-  p.corpus = loggen::build_corpus(p.sim);
-  p.parsed = parsers::parse_corpus(p.corpus);
-  p.analysis = core::AnalysisEngine(config).analyze(
-      p.parsed.store, &p.parsed.jobs, p.sim.config.begin, p.sim.config.end());
+  {
+    util::TraceSpan span("hpcfail.bench.render");
+    p.corpus = loggen::build_corpus(p.sim);
+  }
+  {
+    util::TraceSpan span("hpcfail.bench.parse");
+    p.parsed = parsers::parse_corpus(p.corpus);
+  }
+  {
+    util::TraceSpan span("hpcfail.bench.analyze");
+    p.analysis = core::AnalysisEngine(config).analyze(
+        p.parsed.store, &p.parsed.jobs, p.sim.config.begin, p.sim.config.end());
+  }
   p.failures = p.analysis.failures;
   return p;
 }
@@ -51,7 +97,12 @@ inline Pipeline run_pipeline(faultsim::SimulationResult sim,
 /// Runs the canonical path on a scenario.
 inline Pipeline run_pipeline(faultsim::ScenarioConfig scenario,
                              const core::AnalysisConfig& config = {}) {
-  return run_pipeline(faultsim::Simulator(std::move(scenario)).run(), config);
+  detail::observability_bootstrap();
+  auto sim = [&scenario] {
+    util::TraceSpan span("hpcfail.bench.simulate");
+    return faultsim::Simulator(std::move(scenario)).run();
+  }();
+  return run_pipeline(std::move(sim), config);
 }
 
 inline Pipeline run_system(platform::SystemName system, int days, std::uint64_t seed) {

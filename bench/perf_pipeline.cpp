@@ -7,7 +7,9 @@
 #include <sys/resource.h>
 
 #include <filesystem>
+#include <fstream>
 #include <regex>
+#include <string_view>
 
 #include "core/engine.hpp"
 #include "core/root_cause.hpp"
@@ -17,7 +19,9 @@
 #include "parsers/ingest.hpp"
 #include "parsers/line_classifier.hpp"
 #include "parsers/source_parsers.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -242,4 +246,45 @@ BENCHMARK(BM_AnalyzeFailures)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects unknown
+// flags, so --metrics-out=/--trace-out= are stripped here before
+// benchmark::Initialize sees argv.  With either flag the whole benchmark
+// run is observed (sinks installed for its duration) and the JSON exports
+// are written after the last benchmark finishes.
+int main(int argc, char** argv) {
+  std::string metrics_path;
+  std::string trace_path;
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kMetricsFlag = "--metrics-out=";
+    constexpr std::string_view kTraceFlag = "--trace-out=";
+    if (arg.rfind(kMetricsFlag, 0) == 0) {
+      metrics_path = arg.substr(kMetricsFlag.size());
+    } else if (arg.rfind(kTraceFlag, 0) == 0) {
+      trace_path = arg.substr(kTraceFlag.size());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  args.push_back(nullptr);  // benchmark expects argv[argc] == nullptr
+  int filtered_argc = static_cast<int>(args.size()) - 1;
+
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+
+  util::MetricsRegistry registry;
+  util::TraceRecorder recorder;
+  if (!metrics_path.empty()) util::install_metrics(&registry);
+  if (!trace_path.empty()) util::install_trace(&recorder);
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  util::install_metrics(nullptr);
+  util::install_trace(nullptr);
+  if (!metrics_path.empty()) std::ofstream(metrics_path) << registry.to_json() << '\n';
+  if (!trace_path.empty()) std::ofstream(trace_path) << recorder.to_chrome_json() << '\n';
+  return 0;
+}

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "core/analysis_context.hpp"
 #include "core/advisor.hpp"
 #include "core/online_monitor.hpp"
 #include "core/root_cause.hpp"
@@ -54,7 +55,10 @@ int main(int argc, char** argv) {
   std::cout << "\n\n";
 
   // Post-hoc: what should the operator do about each confirmed failure?
-  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+  const core::AnalysisContext analysis_ctx(
+      parsed.store, &parsed.jobs, parsed.store.first_time(),
+      parsed.store.last_time() + util::Duration::microseconds(1));
+  const auto& failures = analysis_ctx.failures();
   const core::MitigationAdvisor advisor;
   const auto recommendations = advisor.advise(failures, &parsed.jobs);
   const auto summary = core::summarize_actions(recommendations, failures);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "logmodel/record.hpp"
+#include "util/trace.hpp"
 
 namespace hpcfail::core {
 
@@ -21,8 +22,11 @@ AnalysisContext::AnalysisContext(const logmodel::LogStore& store,
 
   // One pass over the window for the type histogram; every analyzer that
   // previously counted its own types reads this instead.
-  for (const auto& r : store.range(begin_, end_)) {
-    ++type_histogram_[static_cast<std::size_t>(r.type)];
+  {
+    util::TraceSpan span("hpcfail.context.type_histogram");
+    for (const auto& r : store.range(begin_, end_)) {
+      ++type_histogram_[static_cast<std::size_t>(r.type)];
+    }
   }
 
   // Memoized detection + diagnosis.  Evidence collection per failure is
@@ -31,23 +35,30 @@ AnalysisContext::AnalysisContext(const logmodel::LogStore& store,
   // byte-identical to the serial loop.
   const FailureDetector detector(detector_config);
   const RootCauseEngine engine(root_cause_config);
-  detection_ = detector.detect_full(store, jobs);
+  {
+    util::TraceSpan span("hpcfail.context.detect");
+    detection_ = detector.detect_full(store, jobs);
+  }
   failures_.resize(detection_.failures.size());
   for (std::size_t i = 0; i < failures_.size(); ++i) {
     failures_[i].event = detection_.failures[i];
   }
-  if (pool != nullptr && failures_.size() > 1) {
-    pool->parallel_for(failures_.size(), [&](std::size_t i) {
-      failures_[i].inference = engine.diagnose(store, failures_[i].event, jobs);
-    });
-  } else {
-    for (auto& f : failures_) {
-      f.inference = engine.diagnose(store, f.event, jobs);
+  {
+    util::TraceSpan span("hpcfail.context.diagnose");
+    if (pool != nullptr && failures_.size() > 1) {
+      pool->parallel_for(failures_.size(), [&](std::size_t i) {
+        failures_[i].inference = engine.diagnose(store, failures_[i].event, jobs);
+      });
+    } else {
+      for (auto& f : failures_) {
+        f.inference = engine.diagnose(store, f.event, jobs);
+      }
     }
   }
 
   // Failure joins: per node and per attributed job, time-ordered because
   // the failure list itself is.
+  util::TraceSpan span("hpcfail.context.joins");
   for (std::size_t i = 0; i < failures_.size(); ++i) {
     const auto& e = failures_[i].event;
     if (e.node.valid()) failures_by_node_[e.node.value].push_back(i);

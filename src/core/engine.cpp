@@ -1,6 +1,7 @@
 #include "core/engine.hpp"
 
 #include "parsers/corpus_parser.hpp"
+#include "util/trace.hpp"
 
 namespace hpcfail::core {
 
@@ -58,6 +59,7 @@ std::vector<std::string> AnalysisEngine::analyzer_names() const {
 AnalysisResult AnalysisEngine::analyze(const logmodel::LogStore& store,
                                        const jobs::JobTable* jobs,
                                        util::TimePoint begin, util::TimePoint end) const {
+  util::TraceSpan run_span("hpcfail.engine.run");
   const AnalysisContext ctx(store, jobs, begin, end, config_.detector,
                             config_.root_cause, config_.pool);
   AnalysisResult out;
@@ -66,7 +68,10 @@ AnalysisResult AnalysisEngine::analyze(const logmodel::LogStore& store,
   out.failures = ctx.failures();
   out.swos = ctx.detection().swos;
   out.intended_shutdowns_excluded = ctx.detection().intended_shutdowns_excluded;
-  for (const auto& [name, fn] : analyzers_) fn(ctx, out);
+  for (const auto& [name, fn] : analyzers_) {
+    util::TraceSpan span("hpcfail.engine.analyzer_" + util::trace_name_segment(name));
+    fn(ctx, out);
+  }
   return out;
 }
 

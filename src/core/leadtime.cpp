@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/thread_pool.hpp"
+
 namespace hpcfail::core {
 
 using logmodel::EventType;

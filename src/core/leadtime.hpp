@@ -15,6 +15,10 @@
 #include "logmodel/log_store.hpp"
 #include "stats/summary.hpp"
 
+namespace hpcfail::util {
+class ThreadPool;
+}  // namespace hpcfail::util
+
 namespace hpcfail::core {
 
 struct LeadTimeConfig {

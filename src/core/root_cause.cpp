@@ -145,31 +145,4 @@ Inference RootCauseEngine::diagnose(const LogStore& store, const FailureEvent& f
   return infer(collect_evidence(store, failure, jobs), failure.marker);
 }
 
-std::vector<AnalyzedFailure> analyze_failures(const LogStore& store,
-                                              const jobs::JobTable* jobs,
-                                              const DetectorConfig& detector_config,
-                                              const RootCauseConfig& engine_config,
-                                              util::ThreadPool* pool) {
-  const FailureDetector detector(detector_config);
-  const RootCauseEngine engine(engine_config);
-  auto events = detector.detect(store, jobs);
-
-  std::vector<AnalyzedFailure> out(events.size());
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    out[i].event = std::move(events[i]);
-  }
-  // Diagnoses touch only immutable state (store, jobs, configs) and write
-  // disjoint slots, so they shard trivially.
-  if (pool != nullptr && out.size() > 1) {
-    pool->parallel_for(out.size(), [&](std::size_t i) {
-      out[i].inference = engine.diagnose(store, out[i].event, jobs);
-    });
-  } else {
-    for (auto& f : out) {
-      f.inference = engine.diagnose(store, f.event, jobs);
-    }
-  }
-  return out;
-}
-
 }  // namespace hpcfail::core

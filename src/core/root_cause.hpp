@@ -14,7 +14,6 @@
 #include "core/failure_detector.hpp"
 #include "logmodel/cause.hpp"
 #include "logmodel/log_store.hpp"
-#include "util/thread_pool.hpp"
 
 namespace hpcfail::core {
 
@@ -88,19 +87,5 @@ struct AnalyzedFailure {
   FailureEvent event;
   Inference inference;
 };
-
-/// Runs detection + diagnosis over a store. Result sorted by time.
-/// When `pool` is non-null the per-failure diagnoses (which are
-/// independent) run as parallel shards on it; results are identical to the
-/// serial path.
-///
-/// Deprecated shim: new code should go through core::AnalysisEngine
-/// (core/engine.hpp), which memoizes detection in a shared AnalysisContext
-/// and returns every analyzer's output in one AnalysisResult.  Kept for
-/// one PR so out-of-tree callers can migrate.
-[[nodiscard]] std::vector<AnalyzedFailure> analyze_failures(
-    const logmodel::LogStore& store, const jobs::JobTable* jobs,
-    const DetectorConfig& detector_config = {}, const RootCauseConfig& engine_config = {},
-    util::ThreadPool* pool = nullptr);
 
 }  // namespace hpcfail::core

@@ -5,6 +5,8 @@
 
 #include "jobs/workload.hpp"
 #include "sensors/sensor_model.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace hpcfail::faultsim {
 
@@ -18,6 +20,32 @@ namespace {
 
 /// Causes whose chain is driven by a running job.
 bool job_driven(RootCause c) noexcept { return logmodel::is_application_triggered(c); }
+
+/// Scenario-phase scope: a trace span over the phase plus a counter crediting
+/// the log records the phase emitted.  Both are inert when no sink/registry
+/// is installed.
+class PhaseScope {
+ public:
+  PhaseScope(const char* span_name, const char* counter_name,
+             const std::vector<LogRecord>& records)
+      : span_(span_name),
+        counter_name_(counter_name),
+        records_(records),
+        before_(records.size()) {}
+  ~PhaseScope() {
+    if (util::MetricsRegistry* reg = util::metrics()) {
+      reg->counter(counter_name_).add(records_.size() - before_);
+    }
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  util::TraceSpan span_;
+  const char* counter_name_;
+  const std::vector<LogRecord>& records_;
+  std::size_t before_;
+};
 
 }  // namespace
 
@@ -47,6 +75,7 @@ struct Simulator::RunState {
 Simulator::Simulator(ScenarioConfig config) : config_(std::move(config)) {}
 
 SimulationResult Simulator::run() {
+  util::TraceSpan run_span("hpcfail.sim.run");
   RunState st(config_, util::Rng{config_.seed});
 
   // A fixed, small powered-off population (about 0.2% of the machine).
@@ -59,13 +88,30 @@ SimulationResult Simulator::run() {
     st.powered_off.insert(static_cast<std::uint32_t>(config_.sensors.force_power_off_node));
   }
 
-  if (config_.enable_jobs) generate_workload(st);
-  generate_failures(st);
-  generate_benign(st);
-  if (config_.sensors.emit_readings) generate_sensor_readings(st);
+  if (config_.enable_jobs) {
+    PhaseScope phase("hpcfail.sim.workload", "hpcfail.sim.workload_records", st.records);
+    generate_workload(st);
+  }
+  {
+    PhaseScope phase("hpcfail.sim.failures", "hpcfail.sim.failures_records", st.records);
+    generate_failures(st);
+  }
+  {
+    PhaseScope phase("hpcfail.sim.benign", "hpcfail.sim.benign_records", st.records);
+    generate_benign(st);
+  }
+  if (config_.sensors.emit_readings) {
+    PhaseScope phase("hpcfail.sim.sensor_readings", "hpcfail.sim.sensor_records",
+                     st.records);
+    generate_sensor_readings(st);
+  }
 
-  // Scheduler records render from the final job outcomes, so emit last.
-  for (const auto& job : st.jobs) st.emitter.emit_job_records(job);
+  {
+    // Scheduler records render from the final job outcomes, so emit last.
+    PhaseScope phase("hpcfail.sim.job_records", "hpcfail.sim.job_log_records",
+                     st.records);
+    for (const auto& job : st.jobs) st.emitter.emit_job_records(job);
+  }
 
   SimulationResult result{config_, st.topo, std::move(st.records), std::move(st.jobs),
                           std::move(st.truth)};

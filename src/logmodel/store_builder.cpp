@@ -3,10 +3,33 @@
 #include <algorithm>
 #include <queue>
 
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
 namespace hpcfail::logmodel {
 
 namespace {
+
 bool time_less(const LogRecord& a, const LogRecord& b) noexcept { return a.time < b.time; }
+
+/// Shard-size bucket edges in records: shards are sealed near the configured
+/// shard_records target, so the histogram mostly shows the tail of short
+/// final shards.
+const std::vector<double>& shard_bounds() {
+  static const std::vector<double> bounds = {256,    1024,    4096,   16384,
+                                             65536,  262144,  1048576};
+  return bounds;
+}
+
+/// Records one sealed shard against the installed registry (if any).
+void note_shard(std::size_t records) {
+  if (util::MetricsRegistry* reg = util::metrics()) {
+    reg->counter("hpcfail.store.shards_sealed").increment();
+    reg->histogram("hpcfail.store.shard_records", shard_bounds())
+        .observe(static_cast<double>(records));
+  }
+}
+
 }  // namespace
 
 StoreBuilder::StoreBuilder(std::size_t shard_records)
@@ -14,6 +37,7 @@ StoreBuilder::StoreBuilder(std::size_t shard_records)
 
 void StoreBuilder::seal_current() {
   if (current_.empty()) return;
+  note_shard(current_.size());
   shards_.push_back(std::move(current_));
   current_ = {};
 }
@@ -28,6 +52,7 @@ void StoreBuilder::append_batch(std::vector<LogRecord> batch) {
   if (batch.empty()) return;
   count_ += batch.size();
   if (current_.empty() && batch.size() >= shard_records_) {
+    note_shard(batch.size());
     shards_.push_back(std::move(batch));
     return;
   }
@@ -44,22 +69,27 @@ LogStore StoreBuilder::build(util::ThreadPool* pool) {
 
   if (shards.empty()) return LogStore::from_sorted({});
   if (shards.size() == 1) {
+    util::TraceSpan span("hpcfail.store.sort_shards");
     std::stable_sort(shards[0].begin(), shards[0].end(), time_less);
     return LogStore::from_sorted(std::move(shards[0]));
   }
 
-  const auto sort_shard = [&shards](std::size_t i) {
-    std::stable_sort(shards[i].begin(), shards[i].end(), time_less);
-  };
-  if (pool != nullptr && pool->size() > 1) {
-    pool->parallel_for(shards.size(), sort_shard);
-  } else {
-    for (std::size_t i = 0; i < shards.size(); ++i) sort_shard(i);
+  {
+    util::TraceSpan span("hpcfail.store.sort_shards");
+    const auto sort_shard = [&shards](std::size_t i) {
+      std::stable_sort(shards[i].begin(), shards[i].end(), time_less);
+    };
+    if (pool != nullptr && pool->size() > 1) {
+      pool->parallel_for(shards.size(), sort_shard);
+    } else {
+      for (std::size_t i = 0; i < shards.size(); ++i) sort_shard(i);
+    }
   }
 
   // K-way merge with a min-heap keyed (time, shard index).  Shards hold
   // contiguous runs of the append sequence, so breaking time ties by shard
   // index reproduces the order a global stable_sort would have produced.
+  util::TraceSpan merge_span("hpcfail.store.merge_shards");
   std::size_t total = 0;
   for (const auto& s : shards) total += s.size();
   std::vector<LogRecord> merged;

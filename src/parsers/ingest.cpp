@@ -1,5 +1,7 @@
 #include "parsers/ingest.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <deque>
 #include <filesystem>
 #include <fstream>
@@ -10,8 +12,10 @@
 #include "logmodel/store_builder.hpp"
 #include "parsers/source_parsers.hpp"
 #include "util/chunked_reader.hpp"
+#include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/time.hpp"
+#include "util/trace.hpp"
 
 namespace hpcfail::parsers {
 
@@ -44,6 +48,41 @@ struct ChunkResult {
   std::size_t skipped = 0;
 };
 
+std::int64_t steady_us() noexcept {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Ingest-layer instrument slots, all nullptr when metrics are dark.  The
+/// stall counters separate time blocked on the producer (reading the next
+/// chunk) from time blocked on consumers (waiting for the oldest in-flight
+/// parse), which is the read-vs-parse balance knob `max_inflight_chunks`
+/// tunes.
+struct IngestInstruments {
+  util::Counter* bytes_read = nullptr;
+  util::Counter* chunks = nullptr;
+  util::Counter* records_parsed = nullptr;
+  util::Counter* lines_skipped = nullptr;
+  util::Counter* read_stall_us = nullptr;
+  util::Counter* retire_stall_us = nullptr;
+
+  static IngestInstruments bind() {
+    IngestInstruments m;
+    if (util::MetricsRegistry* reg = util::metrics()) {
+      m.bytes_read = &reg->counter("hpcfail.ingest.bytes_read");
+      m.chunks = &reg->counter("hpcfail.ingest.chunks");
+      m.records_parsed = &reg->counter("hpcfail.ingest.records_parsed");
+      m.lines_skipped = &reg->counter("hpcfail.ingest.lines_skipped");
+      m.read_stall_us = &reg->counter("hpcfail.ingest.read_stall_us");
+      m.retire_stall_us = &reg->counter("hpcfail.ingest.retire_stall_us");
+    }
+    return m;
+  }
+
+  [[nodiscard]] bool on() const noexcept { return bytes_read != nullptr; }
+};
+
 /// Parallel sources must retire in the same global sequence parse_corpus
 /// appends them, or time-tied records merge in a different order.
 constexpr LogSource kParallelOrder[] = {
@@ -60,20 +99,45 @@ void ingest_parallel_source(std::istream& in, LineParseFn parse, const ParseCont
                             std::size_t& total_lines, std::size_t& skipped) {
   util::ChunkedLineReader reader(in, options.chunk_bytes);
   std::deque<std::future<ChunkResult>> pending;
+  const IngestInstruments m = IngestInstruments::bind();
 
   const auto retire_front = [&] {
-    ChunkResult r = pending.front().get();
+    ChunkResult r;
+    if (m.on()) {
+      const std::int64_t t0 = steady_us();
+      r = pending.front().get();
+      m.retire_stall_us->add(
+          static_cast<std::uint64_t>(std::max<std::int64_t>(0, steady_us() - t0)));
+      m.records_parsed->add(r.records.size());
+      m.lines_skipped->add(r.skipped);
+    } else {
+      r = pending.front().get();
+    }
     pending.pop_front();
     total_lines += r.lines;
     skipped += r.skipped;
     builder.append_batch(std::move(r.records));
   };
 
+  const auto read_next = [&](std::string& out) {
+    if (!m.on()) return reader.next(out);
+    const std::int64_t t0 = steady_us();
+    const bool more = reader.next(out);
+    m.read_stall_us->add(
+        static_cast<std::uint64_t>(std::max<std::int64_t>(0, steady_us() - t0)));
+    if (more) {
+      m.bytes_read->add(out.size());
+      m.chunks->increment();
+    }
+    return more;
+  };
+
   std::string chunk;
   try {
-    while (reader.next(chunk)) {
+    while (read_next(chunk)) {
       pending.push_back(
           pool.submit([text = std::move(chunk), parse, &ctx]() -> ChunkResult {
+            util::TraceSpan span("hpcfail.ingest.parse_chunk");
             ChunkResult r;
             const auto lines = util::split_lines(text);
             r.lines = lines.size();
@@ -106,16 +170,30 @@ void ingest_scheduler_source(std::istream& in, const ParseContext& ctx,
                              std::size_t& skipped) {
   util::ChunkedLineReader reader(in, options.chunk_bytes);
   SchedulerLogParser sched(ctx, jobs);
+  const IngestInstruments m = IngestInstruments::bind();
+  std::size_t parsed_here = 0;
+  std::size_t skipped_here = 0;
   std::string chunk;
   while (reader.next(chunk)) {
+    util::TraceSpan span("hpcfail.ingest.parse_chunk");
+    if (m.on()) {
+      m.bytes_read->add(chunk.size());
+      m.chunks->increment();
+    }
     for (const auto line : util::split_lines(chunk)) {
       ++total_lines;
       if (auto rec = sched.parse_line(line)) {
         builder.append(std::move(*rec));
+        ++parsed_here;
       } else {
         ++skipped;
+        ++skipped_here;
       }
     }
+  }
+  if (m.on()) {
+    m.records_parsed->add(parsed_here);
+    m.lines_skipped->add(skipped_here);
   }
 }
 
@@ -124,6 +202,7 @@ void ingest_scheduler_source(std::istream& in, const ParseContext& ctx,
 ParsedCorpus ingest_stream(const loggen::Corpus& header,
                            const std::vector<SourceStream>& sources,
                            const IngestOptions& options) {
+  util::TraceSpan run_span("hpcfail.ingest.run");
   ParsedCorpus out{header.system, platform::Topology{header.system.topology},
                    {}, {}, 0, 0, 0};
   util::ThreadPool& pool = options.pool != nullptr ? *options.pool : util::default_pool();
@@ -147,11 +226,14 @@ ParsedCorpus ingest_stream(const loggen::Corpus& header,
   for (const LogSource source : kParallelOrder) {
     std::istream* in = stream_of(source);
     if (in == nullptr) continue;
+    util::TraceSpan span("hpcfail.ingest.source_" +
+                         util::trace_name_segment(logmodel::to_string(source)));
     ingest_parallel_source(*in, line_parser_for(source), ctx, options, pool, inflight,
                            builder, out.total_lines, skipped);
   }
 
   if (std::istream* in = stream_of(LogSource::Scheduler)) {
+    util::TraceSpan span("hpcfail.ingest.source_scheduler");
     ingest_scheduler_source(*in, ctx, options, out.jobs, builder, out.total_lines,
                             skipped);
   }

@@ -2,10 +2,22 @@
 // parallel_for.  The analysis pipeline shards work per day / per node and
 // runs the shards here; determinism is preserved because shards never share
 // mutable state and results are merged in index order.
+//
+// Observability (util/metrics.hpp): when a MetricsRegistry is installed the
+// pool exports, under `hpcfail.pool.*`:
+//   - queue_depth        gauge, tasks waiting in the queue
+//   - tasks_completed    counter
+//   - task_latency_us    histogram, enqueue -> completion per task
+//   - worker<i>.busy_us  counter per worker, cumulative task run time
+// Instruments bind lazily inside the queue mutex, so an uninstrumented
+// pool pays one atomic load + integer compare per submit; clock reads
+// happen only while a registry is installed.  The registry must stay
+// installed (and alive) until the pool is idle or destroyed.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -14,6 +26,11 @@
 #include <vector>
 
 namespace hpcfail::util {
+
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
 
 class ThreadPool {
  public:
@@ -32,11 +49,7 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
-    {
-      std::lock_guard lock(mutex_);
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task] { (*task)(); });
     return result;
   }
 
@@ -52,13 +65,30 @@ class ThreadPool {
                            const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  /// Instrument slots resolved against the currently installed registry.
+  struct Instruments {
+    Gauge* queue_depth = nullptr;
+    Counter* tasks_completed = nullptr;
+    Histogram* task_latency_us = nullptr;
+    std::vector<Counter*> worker_busy_us;  ///< one per worker
+  };
+
+  void enqueue(std::function<void()> fn);
+  void worker_loop(std::size_t worker_index);
+  /// Must hold mutex_.  Rebinds instruments_ when the metrics install
+  /// generation changed since the last call; returns the current binding
+  /// (nullptr members when metrics are dark).  Keyed on the generation,
+  /// not the registry address: a new registry can reuse a destroyed one's
+  /// address, which would alias a stale binding to freed instruments.
+  const Instruments& bound_instruments();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::uint64_t bound_metrics_generation_ = 0;  ///< guarded by mutex_
+  Instruments instruments_;                     ///< guarded by mutex_
 };
 
 /// Process-wide default pool (lazily constructed, hardware concurrency).

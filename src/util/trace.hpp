@@ -1,0 +1,108 @@
+// RAII trace spans for pipeline observability, exported in the
+// chrome://tracing "Trace Event Format" (complete events, ph:"X").
+//
+// Usage at an instrumentation site:
+//
+//   util::TraceSpan span("hpcfail.engine.run");
+//   ... work ...            // span records [construction, destruction)
+//
+// When no recorder is installed (the default) a TraceSpan costs one
+// relaxed atomic load and a branch: no clock read, no allocation, no lock.
+// When a recorder is installed the span reads the steady clock twice and
+// appends one event under the recorder's mutex at destruction.
+//
+// Timestamps are microseconds relative to the recorder's construction
+// (steady clock), so traces start near ts=0 and are immune to wall-clock
+// steps.  Thread ids are densified to small integers in first-seen order.
+// Spans on one thread nest strictly (RAII scoping), which is what
+// chrome://tracing renders as a flame graph; the schema test pins the
+// containment property.
+//
+// Span names follow the same `hpcfail.<layer>.<snake_case>` convention as
+// metric names (hpcfail-lint metric-naming check).  Dynamic names (e.g.
+// per-analyzer spans) must be sanitized through trace_name_segment().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcfail::util {
+
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;   ///< densified thread id, first-seen order
+  std::int64_t ts_us = 0;  ///< start, microseconds since recorder epoch
+  std::int64_t dur_us = 0; ///< duration, clamped non-negative
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since this recorder's construction (steady clock).
+  [[nodiscard]] std::int64_t now_us() const noexcept;
+
+  /// Appends one complete event for the calling thread.  Thread-safe.
+  void record(std::string name, std::int64_t ts_us, std::int64_t dur_us);
+
+  /// Snapshot of every recorded event (completion order).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// {"traceEvents":[{"name":...,"cat":"hpcfail","ph":"X","ts":N,
+  ///  "dur":N,"pid":1,"tid":N},...]} — loads directly in chrome://tracing
+  /// and in Perfetto.  Events sorted by (ts, tid) for stable output.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+ private:
+  std::int64_t epoch_ns_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> thread_ids_;  ///< hash -> dense id
+};
+
+/// Installs `recorder` as the process-wide span sink (nullptr disarms).
+/// The caller keeps ownership and must keep it alive until after the last
+/// live span on any thread has destructed (drain pools before uninstalling).
+void install_trace(TraceRecorder* recorder) noexcept;
+
+/// The installed recorder, or nullptr when tracing is dark.
+[[nodiscard]] TraceRecorder* trace() noexcept;
+
+/// Lowercases and maps every non-[a-z0-9] character of `raw` to '_', so a
+/// runtime-provided label (analyzer name, file stem) can be embedded in a
+/// span name without breaking the naming convention.
+[[nodiscard]] std::string trace_name_segment(std::string_view raw);
+
+/// RAII span: records [construction, destruction) against the recorder
+/// installed at construction time.  Inert (and cheap) when none is.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) noexcept : recorder_(trace()) {
+    if (recorder_ != nullptr) {
+      name_ = name;
+      start_us_ = recorder_->now_us();
+    }
+  }
+  ~TraceSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->record(std::move(name_), start_us_, recorder_->now_us() - start_us_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  [[nodiscard]] bool active() const noexcept { return recorder_ != nullptr; }
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  std::int64_t start_us_ = 0;
+};
+
+}  // namespace hpcfail::util

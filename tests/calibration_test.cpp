@@ -4,6 +4,7 @@
 // events, routine chatter, and the timeseries burstiness stats.
 #include <gtest/gtest.h>
 
+#include "core/analysis_context.hpp"
 #include "core/benign_faults.hpp"
 #include "core/external_correlator.hpp"
 #include "core/leadtime.hpp"
@@ -30,7 +31,10 @@ CorpusRun run_s1(std::uint64_t seed) {
         {}, {}, {}};
   r.corpus = loggen::build_corpus(r.sim);
   r.parsed = parsers::parse_corpus(r.corpus);
-  r.failures = core::analyze_failures(r.parsed.store, &r.parsed.jobs);
+  const core::AnalysisContext ctx(
+      r.parsed.store, &r.parsed.jobs, r.parsed.store.first_time(),
+      r.parsed.store.last_time() + util::Duration::microseconds(1));
+  r.failures = ctx.failures();
   return r;
 }
 

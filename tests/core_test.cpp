@@ -2,6 +2,7 @@
 // inference rules, temporal/spatial/external/lead-time/job analyses.
 #include <gtest/gtest.h>
 
+#include "core/analysis_context.hpp"
 #include "core/benign_faults.hpp"
 #include "core/clusters.hpp"
 #include "core/external_correlator.hpp"
@@ -22,6 +23,17 @@ using logmodel::LogRecord;
 using logmodel::LogSource;
 using logmodel::RootCause;
 using logmodel::Severity;
+
+/// Detection + diagnosis over the store's full extent, through the same
+/// AnalysisContext substrate the unified engine shares.
+std::vector<AnalyzedFailure> analyze_all(const logmodel::LogStore& store,
+                                         const jobs::JobTable* jobs,
+                                         util::ThreadPool* pool = nullptr) {
+  const AnalysisContext ctx(store, jobs, store.first_time(),
+                            store.last_time() + util::Duration::microseconds(1), {}, {},
+                            pool);
+  return ctx.failures();
+}
 
 const util::TimePoint kBase = util::make_time(2015, 3, 2);
 
@@ -345,7 +357,7 @@ TEST(LeadTimeTest, EnhancementFromExternal) {
   ec.source = LogSource::Erd;
   records.push_back(ec);
   const logmodel::LogStore store{std::move(records)};
-  const auto failures = analyze_failures(store, nullptr);
+  const auto failures = analyze_all(store, nullptr);
   ASSERT_EQ(failures.size(), 1u);
   const LeadTimeAnalyzer analyzer(store);
   const auto lts = analyzer.lead_times(failures);
@@ -363,7 +375,7 @@ TEST(LeadTimeTest, NoEnhancementWithoutExternal) {
   records.push_back(rec(util::Duration::minutes(58), EventType::OomKill, 1));
   records.push_back(rec(util::Duration::minutes(60), EventType::NodeHalt, 1));
   const logmodel::LogStore store{std::move(records)};
-  const auto failures = analyze_failures(store, nullptr);
+  const auto failures = analyze_all(store, nullptr);
   ASSERT_EQ(failures.size(), 1u);
   const LeadTimeAnalyzer analyzer(store);
   const auto summary = analyzer.summarize(failures);
@@ -387,7 +399,7 @@ TEST(LeadTimeTest, PredictorPatternsAndGate) {
   ec.source = LogSource::Erd;
   records.push_back(ec);
   const logmodel::LogStore store{std::move(records)};
-  const auto failures = analyze_failures(store, nullptr);
+  const auto failures = analyze_all(store, nullptr);
   const LeadTimeAnalyzer analyzer(store);
 
   const auto internal_only = analyzer.evaluate_predictor(failures, false);
@@ -412,9 +424,9 @@ TEST(ParallelAnalysisTest, MatchesSerialExactly) {
         rec(base_offset + util::Duration::minutes(3), EventType::KernelPanic, n));
   }
   const logmodel::LogStore store{std::move(records)};
-  const auto serial = analyze_failures(store, nullptr);
+  const auto serial = analyze_all(store, nullptr);
   util::ThreadPool pool(4);
-  const auto parallel = analyze_failures(store, nullptr, {}, {}, &pool);
+  const auto parallel = analyze_all(store, nullptr, &pool);
   ASSERT_EQ(serial.size(), parallel.size());
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_EQ(serial[i].event.node.value, parallel[i].event.node.value);

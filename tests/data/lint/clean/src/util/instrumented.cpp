@@ -1,0 +1,11 @@
+// Fixture: conforming instrumentation — the metric-naming check must pass.
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+
+void instrument(hpcfail::util::MetricsRegistry& reg, int worker) {
+  reg.counter("hpcfail.ingest.bytes_read").add(1);
+  reg.gauge("hpcfail.pool.queue_depth").set(0);
+  reg.histogram("hpcfail.pool.task_latency_us", {1.0, 10.0}).observe(0.5);
+  reg.counter("hpcfail.pool.worker" + std::to_string(worker) + ".busy_us").add(1);
+  hpcfail::util::TraceSpan span("hpcfail.engine.analyzer_cause_aggregates");
+}

@@ -2,8 +2,9 @@
 //
 //  1. On every system preset S1-S5 the engine's AnalysisResult is
 //     record-for-record identical to the legacy hand-wired path
-//     (analyze_failures + LeadTimeAnalyzer + ExternalCorrelator +
-//     BenignFaultAnalyzer + cluster_failures + report helpers).
+//     (FailureDetector + RootCauseEngine + LeadTimeAnalyzer +
+//     ExternalCorrelator + BenignFaultAnalyzer + cluster_failures + report
+//     helpers, each wired by hand, serial).
 //  2. Same seed, 1 vs N threads: identical AnalysisResult — the parallel
 //     per-failure stages assemble index-ordered, byte-identical to serial.
 //
@@ -19,13 +20,16 @@
 #include "core/clusters.hpp"
 #include "core/engine.hpp"
 #include "core/external_correlator.hpp"
+#include "core/failure_detector.hpp"
 #include "core/leadtime.hpp"
 #include "core/report.hpp"
 #include "core/root_cause.hpp"
 #include "faultsim/simulator.hpp"
 #include "loggen/corpus.hpp"
 #include "parsers/corpus_parser.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace hpcfail {
 namespace {
@@ -148,7 +152,14 @@ TEST_P(EngineEquivalence, MatchesLegacyHandWiredPath) {
   const auto end = c.scenario.end();
 
   // Legacy path: each analyzer hand-wired, serial.
-  const auto failures = core::analyze_failures(store, &c.parsed.jobs);
+  const core::FailureDetector detector{core::DetectorConfig{}};
+  const core::RootCauseEngine root_cause{core::RootCauseConfig{}};
+  auto events = detector.detect(store, &c.parsed.jobs);
+  std::vector<core::AnalyzedFailure> failures(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    failures[i].event = std::move(events[i]);
+    failures[i].inference = root_cause.diagnose(store, failures[i].event, &c.parsed.jobs);
+  }
   const core::LeadTimeAnalyzer leadtime(store);
   const auto lead_times = leadtime.lead_times(failures);
   const auto lt_summary = leadtime.summarize(failures);
@@ -302,6 +313,96 @@ TEST(EngineTest, NonFinalizedStoreThrowsAtConstruction) {
   EXPECT_THROW(core::AnalysisContext(store, nullptr, {}, {}), std::logic_error);
   EXPECT_THROW(core::LeadTimeAnalyzer analyzer(store), std::logic_error);
   EXPECT_THROW(core::ExternalCorrelator correlator(store, none), std::logic_error);
+}
+
+/// Uninstalls the process-wide observability sinks even on test failure.
+struct SinkGuard {
+  SinkGuard(util::MetricsRegistry* m, util::TraceRecorder* t) {
+    util::install_metrics(m);
+    util::install_trace(t);
+  }
+  ~SinkGuard() {
+    util::install_metrics(nullptr);
+    util::install_trace(nullptr);
+  }
+};
+
+/// Instrumentation must observe, never perturb: with metrics and tracing
+/// installed the engine's AnalysisResult is byte-identical to the dark run
+/// on every system dialect.
+class EngineMetricsEquivalence : public ::testing::TestWithParam<platform::SystemName> {};
+
+TEST_P(EngineMetricsEquivalence, MetricsOnVsOffIdenticalResult) {
+  const auto c = make_corpus(GetParam(), 5, 3600);
+  const core::AnalysisEngine engine;
+  const auto dark = engine.analyze(c.parsed);
+
+  util::MetricsRegistry registry;
+  util::TraceRecorder recorder;
+  core::AnalysisResult lit;
+  {
+    SinkGuard guard(&registry, &recorder);
+    lit = engine.analyze(c.parsed);
+  }
+  expect_results_equal(dark, lit);
+
+  // The instrumented run did record: the engine span plus one span per
+  // registered analyzer.
+  std::size_t analyzer_spans = 0;
+  bool saw_engine_run = false;
+  for (const auto& e : recorder.events()) {
+    saw_engine_run = saw_engine_run || e.name == "hpcfail.engine.run";
+    if (e.name.rfind("hpcfail.engine.analyzer_", 0) == 0) ++analyzer_spans;
+  }
+  EXPECT_TRUE(saw_engine_run);
+  EXPECT_EQ(analyzer_spans, engine.analyzer_names().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, EngineMetricsEquivalence,
+                         ::testing::Values(platform::SystemName::S1, platform::SystemName::S2,
+                                           platform::SystemName::S3, platform::SystemName::S4,
+                                           platform::SystemName::S5),
+                         [](const auto& info) {
+                           return std::string(platform::to_string(info.param));
+                         });
+
+/// 1 vs N threads with both sinks live: the pool's queue-depth gauge and
+/// task-latency histogram fire from worker threads, and the result still
+/// matches the dark serial run exactly.
+TEST(EngineMetricsEquivalence, InstrumentedOneVsManyThreadsIdentical) {
+  const auto c = make_corpus(platform::SystemName::S1, 7, 3700);
+  const auto dark = core::AnalysisEngine().analyze(
+      c.parsed.store, &c.parsed.jobs, c.scenario.begin, c.scenario.end());
+  ASSERT_GT(dark.failures.size(), 1u);
+
+  util::MetricsRegistry registry;
+  util::TraceRecorder recorder;
+  core::AnalysisResult serial;
+  core::AnalysisResult parallel;
+  {
+    SinkGuard guard(&registry, &recorder);
+    util::ThreadPool one(1);
+    util::ThreadPool many(4);
+    core::AnalysisConfig serial_config;
+    serial_config.pool = &one;
+    core::AnalysisConfig parallel_config;
+    parallel_config.pool = &many;
+    serial = core::AnalysisEngine(serial_config)
+                 .analyze(c.parsed.store, &c.parsed.jobs, c.scenario.begin,
+                          c.scenario.end());
+    parallel = core::AnalysisEngine(parallel_config)
+                   .analyze(c.parsed.store, &c.parsed.jobs, c.scenario.begin,
+                            c.scenario.end());
+  }
+  expect_results_equal(dark, serial);
+  expect_results_equal(dark, parallel);
+
+  // Worker threads recorded into the registry while the pools ran.
+  std::uint64_t tasks_completed = 0;
+  for (const auto& [name, value] : registry.counters()) {
+    if (name == "hpcfail.pool.tasks_completed") tasks_completed = value;
+  }
+  EXPECT_GT(tasks_completed, 0u);
 }
 
 /// An empty (finalized) store analyzes to an all-empty result.

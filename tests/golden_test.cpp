@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/analysis_context.hpp"
 #include "core/report.hpp"
 #include "core/root_cause.hpp"
 #include "faultsim/scenario_io.hpp"
@@ -59,7 +60,10 @@ TEST_F(GoldenCorpus, ParseCountsPinned) {
 }
 
 TEST_F(GoldenCorpus, DiagnosisPinned) {
-  const auto failures = core::analyze_failures(parsed_->store, &parsed_->jobs);
+  const core::AnalysisContext ctx(
+      parsed_->store, &parsed_->jobs, parsed_->store.first_time(),
+      parsed_->store.last_time() + util::Duration::microseconds(1));
+  const auto& failures = ctx.failures();
   ASSERT_EQ(failures.size(), 8u);
   const auto breakdown = core::cause_breakdown(failures);
   EXPECT_EQ(breakdown.count(logmodel::RootCause::HardwareMce), 4u);

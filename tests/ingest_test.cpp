@@ -5,16 +5,22 @@
 // chunk/shard geometry, including pathological one-byte chunks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <sstream>
+#include <string>
 
 #include "faultsim/simulator.hpp"
 #include "loggen/corpus.hpp"
 #include "parsers/corpus_parser.hpp"
 #include "parsers/ingest.hpp"
+#include "util/metrics.hpp"
+#include "util/rng.hpp"
 
 namespace hpcfail {
 namespace {
@@ -202,6 +208,65 @@ TEST(IngestEdgeTest, EmptySourceFileIsSkipped) {
   std::ofstream(std::filesystem::path(dir) / "erd.log", std::ios::binary).close();
   const auto reference = parsers::parse_corpus(corpus);
   expect_equivalent(reference, parsers::ingest_files(dir));
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------- observability ----
+
+/// Seeded sweep over 32 log-uniform chunk sizes in [1, 1 MiB]: every
+/// geometry must reproduce the in-memory parse record for record, and the
+/// ingest counters must account for the corpus exactly — bytes_read equals
+/// the total size of the ingested .log files (ChunkedLineReader passes
+/// bytes through untouched), records_parsed/lines_skipped equal the parse
+/// totals.
+TEST(IngestObservability, RandomChunkSizeSweepPreservesRecordsAndCounters) {
+  const loggen::Corpus corpus = small_corpus();
+  const auto reference = parsers::parse_corpus(corpus);
+  const std::string dir = write_to_temp(corpus, "chunk_sweep");
+
+  std::uintmax_t corpus_bytes = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".log") corpus_bytes += entry.file_size();
+  }
+  ASSERT_GT(corpus_bytes, 0u);
+
+  util::Rng rng(20260807);
+  for (int i = 0; i < 32; ++i) {
+    const auto exponent = rng.uniform_int(0, 20);
+    const auto hi = std::int64_t{1} << exponent;
+    const auto lo = std::max<std::int64_t>(1, hi / 2);
+    parsers::IngestOptions options;
+    options.chunk_bytes = static_cast<std::size_t>(rng.uniform_int(lo, hi));
+    options.max_inflight_chunks = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    SCOPED_TRACE("sweep " + std::to_string(i) + ": chunk_bytes=" +
+                 std::to_string(options.chunk_bytes) +
+                 " inflight=" + std::to_string(options.max_inflight_chunks));
+
+    // A dedicated pool scoped inside the registry's lifetime: its
+    // destructor joins the workers, so every instrumented task epilogue
+    // lands before the registry is uninstalled and destroyed (the
+    // install_metrics contract).  A fresh registry per iteration also
+    // exercises the pool's rebind across metrics generations.
+    util::MetricsRegistry registry;
+    util::install_metrics(&registry);
+    parsers::ParsedCorpus streamed;
+    {
+      util::ThreadPool pool(2);
+      options.pool = &pool;
+      streamed = parsers::ingest_files(dir, options);
+    }
+    util::install_metrics(nullptr);
+
+    expect_equivalent(reference, streamed);
+
+    std::map<std::string, std::uint64_t> counters;
+    for (const auto& [name, value] : registry.counters()) counters[name] = value;
+    EXPECT_EQ(counters["hpcfail.ingest.bytes_read"], corpus_bytes);
+    EXPECT_EQ(counters["hpcfail.ingest.records_parsed"], reference.parsed_records);
+    EXPECT_EQ(counters["hpcfail.ingest.lines_skipped"], reference.skipped_lines);
+    EXPECT_GE(counters["hpcfail.ingest.chunks"],
+              std::uint64_t{1} + (corpus_bytes - 1) / (options.chunk_bytes + 4096));
+  }
   std::filesystem::remove_all(dir);
 }
 

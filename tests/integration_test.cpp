@@ -6,6 +6,7 @@
 
 #include <map>
 
+#include "core/analysis_context.hpp"
 #include "core/leadtime.hpp"
 #include "core/report.hpp"
 #include "core/root_cause.hpp"
@@ -28,7 +29,10 @@ Pipeline run_pipeline(platform::SystemName system, int days, std::uint64_t seed)
              {}, {}, {}};
   p.corpus = loggen::build_corpus(p.sim);
   p.parsed = parsers::parse_corpus(p.corpus);
-  p.failures = core::analyze_failures(p.parsed.store, &p.parsed.jobs);
+  const core::AnalysisContext ctx(
+      p.parsed.store, &p.parsed.jobs, p.parsed.store.first_time(),
+      p.parsed.store.last_time() + util::Duration::microseconds(1));
+  p.failures = ctx.failures();
   return p;
 }
 

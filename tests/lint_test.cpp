@@ -114,10 +114,33 @@ TEST(LintBenchPipeline, MissingBenchDirectoryIsDiagnosed) {
             }));
 }
 
+TEST(LintMetricNaming, DriftedInstrumentNamesAreDiagnosedExactly) {
+  const Report report = run_checks(fixture("metric_drift"), {"metric-naming"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/util/instrumented.cpp:8: error: [metric-naming] metric/span name "
+                "'hpcfail.Ingest.BytesRead' drifts from hpcfail.<layer>.<snake_case> "
+                "(lowercase snake_case segments, at least two after 'hpcfail')",
+                "src/util/instrumented.cpp:9: error: [metric-naming] metric/span name "
+                "'hpcfail.pool' drifts from hpcfail.<layer>.<snake_case> (lowercase "
+                "snake_case segments, at least two after 'hpcfail')",
+                "src/util/instrumented.cpp:10: error: [metric-naming] instrument name "
+                "'ingest.chunks' is not rooted under 'hpcfail.'; metric and span names "
+                "follow hpcfail.<layer>.<snake_case>",
+                "src/util/instrumented.cpp:11: error: [metric-naming] metric/span name "
+                "prefix 'hpcfail.pool.Worker' drifts from hpcfail.<layer>.<snake_case> "
+                "(complete segments before the runtime suffix must be lowercase "
+                "snake_case)",
+                "src/util/instrumented.cpp:13: error: [metric-naming] metric/span name "
+                "'hpcfail.engine.Analyzer' drifts from hpcfail.<layer>.<snake_case> "
+                "(lowercase snake_case segments, at least two after 'hpcfail')",
+            }));
+}
+
 TEST(LintClean, ConsistentFixtureTreePasses) {
   const Report report = run_checks(
       fixture("clean"), {"erd-table", "event-names", "corpus-files", "banned-pattern",
-                         "header-hygiene", "bench-pipeline"});
+                         "header-hygiene", "bench-pipeline", "metric-naming"});
   EXPECT_TRUE(report.ok()) << (report.ok() ? std::string{}
                                            : rendered(report).front());
 }

@@ -2,6 +2,7 @@
 // agreement with the offline pipeline on a simulated corpus.
 #include <gtest/gtest.h>
 
+#include "core/analysis_context.hpp"
 #include "core/online_monitor.hpp"
 #include "core/root_cause.hpp"
 #include "faultsim/simulator.hpp"
@@ -130,7 +131,10 @@ TEST(MonitorTest, AgreesWithOfflinePipeline) {
     warnings += a.kind == AlertKind::PatternWarning ||
                 a.kind == AlertKind::ExternalEarlyWarning;
   }
-  const auto offline = analyze_failures(store, nullptr);
+  const AnalysisContext offline_ctx(
+      store, nullptr, store.first_time(),
+      store.last_time() + util::Duration::microseconds(1));
+  const auto& offline = offline_ctx.failures();
   // Streaming confirmations track offline detections (SWO exclusion is an
   // offline-only post-pass, so allow a margin).
   EXPECT_NEAR(static_cast<double>(confirmed), static_cast<double>(offline.size()),

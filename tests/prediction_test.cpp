@@ -2,6 +2,7 @@
 // failure predictor trained on one corpus and evaluated on another.
 #include <gtest/gtest.h>
 
+#include "core/analysis_context.hpp"
 #include "core/prediction.hpp"
 #include "core/root_cause.hpp"
 #include "faultsim/simulator.hpp"
@@ -11,6 +12,13 @@
 
 namespace hpcfail {
 namespace {
+
+/// Detection + diagnosis over the store's full extent.
+std::vector<core::AnalyzedFailure> diagnose_all(const logmodel::LogStore& store) {
+  const core::AnalysisContext ctx(store, nullptr, store.first_time(),
+                                  store.last_time() + util::Duration::microseconds(1));
+  return ctx.failures();
+}
 
 // ------------------------------------------------------------- logistic ----
 
@@ -110,8 +118,8 @@ struct PredictionFixture : public ::testing::Test {
             .run());
     train_store = std::make_unique<logmodel::LogStore>(train_sim->make_store());
     test_store = std::make_unique<logmodel::LogStore>(test_sim->make_store());
-    train_failures = core::analyze_failures(*train_store, nullptr);
-    test_failures = core::analyze_failures(*test_store, nullptr);
+    train_failures = diagnose_all(*train_store);
+    test_failures = diagnose_all(*test_store);
   }
 
   std::unique_ptr<faultsim::SimulationResult> train_sim, test_sim;

@@ -3,6 +3,7 @@
 // sources — must degrade the analysis gracefully, never crash it.
 #include <gtest/gtest.h>
 
+#include "core/analysis_context.hpp"
 #include "core/leadtime.hpp"
 #include "core/root_cause.hpp"
 #include "faultsim/simulator.hpp"
@@ -12,6 +13,14 @@
 
 namespace hpcfail {
 namespace {
+
+/// Detection + diagnosis over the parsed corpus's full extent.
+std::vector<core::AnalyzedFailure> diagnose_all(const parsers::ParsedCorpus& parsed) {
+  const core::AnalysisContext ctx(
+      parsed.store, &parsed.jobs, parsed.store.first_time(),
+      parsed.store.last_time() + util::Duration::microseconds(1));
+  return ctx.failures();
+}
 
 struct Baseline {
   faultsim::SimulationResult sim;
@@ -26,7 +35,7 @@ const Baseline& baseline() {
             .run();
     auto corpus = loggen::build_corpus(sim);
     const auto parsed = parsers::parse_corpus(corpus);
-    const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+    const auto failures = diagnose_all(parsed);
     return Baseline{std::move(sim), std::move(corpus), failures.size()};
   }();
   return b;
@@ -34,7 +43,7 @@ const Baseline& baseline() {
 
 std::size_t detect_on(const loggen::Corpus& corpus) {
   const auto parsed = parsers::parse_corpus(corpus);
-  return core::analyze_failures(parsed.store, &parsed.jobs).size();
+  return diagnose_all(parsed).size();
 }
 
 TEST(RobustnessTest, RandomLineLossDegradesGracefully) {
@@ -53,7 +62,7 @@ TEST(RobustnessTest, HeavyCorruptionNeverCrashes) {
   const auto degraded = loggen::degrade_corpus(baseline().corpus, cfg);
   const auto parsed = parsers::parse_corpus(degraded);
   EXPECT_GT(parsed.skipped_lines, 0u);  // corruption rejects some lines
-  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+  const auto failures = diagnose_all(parsed);
   EXPECT_GT(failures.size(), 0u);
 }
 
@@ -67,7 +76,7 @@ TEST(RobustnessTest, MissingTimeWindowRemovesThoseFailures) {
   // The gap is empty of records.
   EXPECT_TRUE(parsed.store.range(*cfg.gap_begin, *cfg.gap_end).empty());
   // Failures outside the gap still detected.
-  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+  const auto failures = diagnose_all(parsed);
   std::size_t planted_outside = 0;
   for (const auto& f : b.sim.truth.failures) {
     if (f.fail_time < *cfg.gap_begin || f.fail_time >= *cfg.gap_end) ++planted_outside;
@@ -81,7 +90,7 @@ TEST(RobustnessTest, DroppingExternalSourcesKillsLeadTimeOnly) {
   cfg.drop_source[static_cast<std::size_t>(logmodel::LogSource::Controller)] = true;
   const auto degraded = loggen::degrade_corpus(baseline().corpus, cfg);
   const auto parsed = parsers::parse_corpus(degraded);
-  const auto failures = core::analyze_failures(parsed.store, &parsed.jobs);
+  const auto failures = diagnose_all(parsed);
   // Detection barely changes (it is internal-log driven)...
   EXPECT_GT(failures.size(), baseline().failures * 9 / 10);
   // ...but without the external universe no lead-time enhancement exists

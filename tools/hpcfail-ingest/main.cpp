@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -18,7 +19,9 @@
 #include "faultsim/simulator.hpp"
 #include "loggen/corpus.hpp"
 #include "parsers/ingest.hpp"
+#include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -40,7 +43,11 @@ void usage(std::FILE* to) {
       "  --threads N        pool threads (default: hardware concurrency)\n"
       "  --chunk-bytes N    chunk size in bytes (default 1 MiB)\n"
       "  --shard-records N  records per store shard (default 65536)\n"
-      "  --keep             keep the --preset temp directory\n",
+      "  --keep             keep the --preset temp directory\n"
+      "  --metrics-out F    write pipeline counters/histograms to F (JSON)\n"
+      "  --trace-out F      write spans to F (chrome://tracing JSON)\n"
+      "\n"
+      "--metrics-out and --trace-out also accept --opt=FILE form.\n",
       to);
 }
 
@@ -80,6 +87,8 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   std::size_t threads = 0;
   bool keep = false;
+  std::string metrics_path;
+  std::string trace_path;
   parsers::IngestOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -114,6 +123,14 @@ int main(int argc, char** argv) {
       options.shard_records = static_cast<std::size_t>(std::atoll(value()));
     } else if (arg == "--keep") {
       keep = true;
+    } else if (arg == "--metrics-out") {
+      metrics_path = value();
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      metrics_path = arg.substr(std::string_view("--metrics-out=").size());
+    } else if (arg == "--trace-out") {
+      trace_path = value();
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(std::string_view("--trace-out=").size());
     } else {
       std::fprintf(stderr, "hpcfail-ingest: unknown option '%s'\n", argv[i]);
       usage(stderr);
@@ -125,6 +142,13 @@ int main(int argc, char** argv) {
     usage(stderr);
     return 2;
   }
+
+  // Sinks live in main's frame so they outlive the pool inside the try
+  // block; installed only when the matching flag was passed.
+  util::MetricsRegistry registry;
+  util::TraceRecorder recorder;
+  if (!metrics_path.empty()) util::install_metrics(&registry);
+  if (!trace_path.empty()) util::install_trace(&recorder);
 
   try {
     bool scratch = false;
@@ -161,6 +185,15 @@ int main(int argc, char** argv) {
                 static_cast<double>(bytes) / 1e6 / seconds,
                 static_cast<double>(parsed.parsed_records) / seconds);
     std::printf("peak rss        %.1f MB\n", peak_rss_mb());
+
+    if (!metrics_path.empty()) {
+      std::ofstream(metrics_path) << registry.to_json() << '\n';
+      std::printf("metrics         %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      std::ofstream(trace_path) << recorder.to_chrome_json() << '\n';
+      std::printf("trace           %s\n", trace_path.c_str());
+    }
 
     if (scratch) std::filesystem::remove_all(dir);
     return 0;

@@ -629,6 +629,98 @@ void check_bench_pipeline(const fs::path& root, Report& report) {
 }
 
 // ---------------------------------------------------------------------------
+// Check: metric-naming
+// ---------------------------------------------------------------------------
+
+void check_metric_naming(const fs::path& root, Report& report) {
+  const std::string check = "metric-naming";
+  // A complete instrument name: hpcfail root plus at least two lowercase
+  // snake_case dot-segments (hpcfail.<layer>.<name>...).
+  static const std::regex full_name(R"(^hpcfail(\.[a-z0-9]+(_[a-z0-9]+)*){2,}$)");
+  // A literal completed at runtime ("hpcfail.pool.worker" + i + ...): every
+  // segment present in the literal must already be lowercase snake_case, and
+  // it may end on a dangling '.' or '_' that the runtime suffix continues.
+  static const std::regex prefix_name(R"(^hpcfail(\.[a-z0-9]+(_[a-z0-9]+)*)+[._]?$)");
+  // Any string literal rooted at "hpcfail."; capture 2 is a trailing '+'
+  // that marks the literal as a runtime-completed prefix.  Literals with
+  // escapes (e.g. names embedded in hand-written JSON) are skipped — names
+  // never contain backslashes.
+  static const std::regex rooted_literal(R"#("(hpcfail\.[^"\\]*)"\s*(\+)?)#");
+  // Instrument call sites, so names that forgot the hpcfail root are still
+  // caught: registry lookups and span constructions taking a name literal.
+  static const std::regex call_site(
+      R"#(\b(?:counter|gauge|histogram|TraceSpan(?:\s+\w+)?|PhaseScope(?:\s+\w+)?)\s*\(\s*"([^"\\]+)")#");
+
+  const fs::path src = root / "src";
+  if (!fs::exists(src)) {
+    report.add("src", 0, check, "no src/ directory under repo root");
+    return;
+  }
+  std::vector<fs::path> files;
+  for (const char* top : {"src", "tools", "bench"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const auto ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      // The linter's own sources quote drifted names in messages and tests.
+      const std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (rel.rfind("tools/hpcfail-lint/", 0) == 0) continue;
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const auto& path : files) {
+    const std::string rel = fs::relative(path, root).generic_string();
+    const auto file = load(root, rel, check, report);
+    if (!file) continue;
+    for (std::size_t n = 1; n <= file->lines.size(); ++n) {
+      const std::string& text = file->lines[n - 1];
+      if (text.find("hpcfail-lint: allow(metric-naming)") != std::string::npos) continue;
+
+      // Collect each candidate name once per line; a name seen with a
+      // trailing '+' anywhere on the line is validated as a prefix.
+      std::map<std::string, bool> names;  // name -> is_prefix
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), rooted_literal);
+           it != std::sregex_iterator(); ++it) {
+        bool& is_prefix = names[(*it)[1].str()];
+        is_prefix = is_prefix || (*it)[2].matched;
+      }
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), call_site);
+           it != std::sregex_iterator(); ++it) {
+        names.emplace((*it)[1].str(), false);
+      }
+
+      for (const auto& [name, is_prefix] : names) {
+        if (name.rfind("hpcfail.", 0) != 0) {
+          report.add(rel, n, check,
+                     "instrument name '" + name +
+                         "' is not rooted under 'hpcfail.'; metric and span names "
+                         "follow hpcfail.<layer>.<snake_case>");
+        } else if (is_prefix) {
+          std::string head = name;
+          if (!head.empty() && (head.back() == '.' || head.back() == '_')) head.pop_back();
+          if (!std::regex_match(head, prefix_name)) {
+            report.add(rel, n, check,
+                       "metric/span name prefix '" + name +
+                           "' drifts from hpcfail.<layer>.<snake_case> (complete "
+                           "segments before the runtime suffix must be lowercase "
+                           "snake_case)");
+          }
+        } else if (!std::regex_match(name, full_name)) {
+          report.add(rel, n, check,
+                     "metric/span name '" + name +
+                         "' drifts from hpcfail.<layer>.<snake_case> (lowercase "
+                         "snake_case segments, at least two after 'hpcfail')");
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------------
 
@@ -636,6 +728,7 @@ const std::vector<std::string>& all_check_names() {
   static const std::vector<std::string> names = {
       "erd-table",      "event-names",     "payload-coverage", "formats-doc",
       "corpus-files",   "banned-pattern",  "header-hygiene",   "bench-pipeline",
+      "metric-naming",
   };
   return names;
 }
@@ -651,6 +744,7 @@ Report run_checks(const fs::path& root, const std::vector<std::string>& checks) 
       {"banned-pattern", &check_banned_patterns},
       {"header-hygiene", &check_header_hygiene},
       {"bench-pipeline", &check_bench_pipeline},
+      {"metric-naming", &check_metric_naming},
   };
   Report report;
   const std::vector<std::string>& selected = checks.empty() ? all_check_names() : checks;

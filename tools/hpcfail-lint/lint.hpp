@@ -78,6 +78,15 @@ void check_header_hygiene(const std::filesystem::path& root, Report& report);
 /// (for benches that do no failure analysis at all).
 void check_bench_pipeline(const std::filesystem::path& root, Report& report);
 
+/// Metric/span naming: every instrument name literal in src/, tools/ and
+/// bench/ — registry calls (counter/gauge/histogram), TraceSpan/PhaseScope
+/// constructions, and any string literal rooted at "hpcfail." — must follow
+/// `hpcfail.<layer>.<snake_case>` (lowercase snake_case dot-segments, at
+/// least two after the hpcfail root).  A literal completed at runtime
+/// (followed by `+`) is validated as a prefix.  Suppress a line with
+/// "hpcfail-lint: allow(metric-naming)".
+void check_metric_naming(const std::filesystem::path& root, Report& report);
+
 /// All known check names, in execution order.
 [[nodiscard]] const std::vector<std::string>& all_check_names();
 
