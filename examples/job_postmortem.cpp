@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
       for (const std::uint32_t idx : f.event.chain) {
         const auto& r = parsed.store[idx];
         std::cout << "      " << util::format_iso(r.time) << "  " << to_string(r.type)
-                  << "  " << r.detail << '\n';
+                  << "  " << parsed.store.detail(r) << '\n';
       }
     }
     break;

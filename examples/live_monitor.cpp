@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   std::size_t shown = 0;
   std::array<std::size_t, 4> kind_counts{};
   for (const auto& record : parsed.store.records()) {
-    for (const auto& alert : monitor.ingest(record)) {
+    for (const auto& alert : monitor.ingest(record, parsed.store.detail(record))) {
       ++kind_counts[static_cast<std::size_t>(alert.kind)];
       if (shown < 40) {
         std::cout << util::format_iso(alert.time) << "  "

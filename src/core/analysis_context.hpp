@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -72,10 +73,11 @@ class AnalysisContext {
 
   /// Store indexes of `node`'s records clipped to the analysis window —
   /// the per-node window view analyzers previously re-filtered themselves.
-  [[nodiscard]] std::vector<std::uint32_t> node_window(platform::NodeId node) const {
+  /// Views into the store's per-node index; valid as long as the store.
+  [[nodiscard]] std::span<const std::uint32_t> node_window(platform::NodeId node) const {
     return store_.node_range(node, begin_, end_);
   }
-  [[nodiscard]] std::vector<std::uint32_t> blade_window(platform::BladeId blade) const {
+  [[nodiscard]] std::span<const std::uint32_t> blade_window(platform::BladeId blade) const {
     return store_.blade_range(blade, begin_, end_);
   }
 

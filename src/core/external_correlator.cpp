@@ -63,9 +63,9 @@ NhfBreakdown ExternalCorrelator::nhf_breakdown(util::TimePoint begin,
           failure->inference.cause == logmodel::RootCause::FailSlowHardware) {
         ++out.failed_mce;
       }
-    } else if (util::contains(r.detail, "powered off")) {
+    } else if (util::contains(store_.detail(r), "powered off")) {
       ++out.power_off;
-    } else if (util::contains(r.detail, "skipped")) {
+    } else if (util::contains(store_.detail(r), "skipped")) {
       ++out.skipped_heartbeat;
     } else {
       ++out.other_benign;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/strings.hpp"
+
 namespace hpcfail::core {
 
 using logmodel::EventType;
@@ -35,7 +37,7 @@ Detection FailureDetector::detect_full(const LogStore& store,
     // Intended shutdowns carry their reason in the shutdown message; the
     // paper recognizes and excludes them.
     if (r.type == EventType::NodeShutdown &&
-        r.detail.find("scheduled maintenance") != std::string::npos) {
+        util::contains(store.detail(r), "scheduled maintenance")) {
       ++result.intended_shutdowns_excluded;
       continue;
     }

@@ -60,7 +60,7 @@ Evidence OnlineMonitor::evidence_for(const NodeView& node, platform::BladeId bla
   return ev;
 }
 
-std::vector<Alert> OnlineMonitor::ingest(const LogRecord& record) {
+std::vector<Alert> OnlineMonitor::ingest(const LogRecord& record, std::string_view detail) {
   std::vector<Alert> alerts;
 
   // Remember blade-scoped external indicators.
@@ -112,7 +112,7 @@ std::vector<Alert> OnlineMonitor::ingest(const LogRecord& record) {
       break;
     }
   }
-  node.recent.push_back({record.time, record.type, record.detail});
+  node.recent.push_back({record.time, record.type, std::string(detail)});
   while (!node.recent.empty() &&
          record.time - node.recent.front().time > config_.evidence_memory) {
     node.recent.pop_front();
@@ -137,7 +137,7 @@ std::vector<Alert> OnlineMonitor::ingest(const LogRecord& record) {
 std::vector<Alert> OnlineMonitor::ingest_all(const logmodel::LogStore& store) {
   std::vector<Alert> all;
   for (const auto& r : store.records()) {
-    for (auto& alert : ingest(r)) all.push_back(std::move(alert));
+    for (auto& alert : ingest(r, store.detail(r))) all.push_back(std::move(alert));
   }
   return all;
 }

@@ -50,8 +50,12 @@ class OnlineMonitor {
   explicit OnlineMonitor(MonitorConfig config = {}) : config_(config) {}
 
   /// Feeds one record (records must arrive in non-decreasing time order)
-  /// and returns any alerts it triggers.
-  [[nodiscard]] std::vector<Alert> ingest(const logmodel::LogRecord& record);
+  /// and returns any alerts it triggers.  `detail` is the record's resolved
+  /// detail text (records carry interned Symbols; the monitor has no table
+  /// of its own, so the caller resolves — e.g. store.detail(r)).  The text
+  /// is copied into the evidence memory, so it need not outlive the call.
+  [[nodiscard]] std::vector<Alert> ingest(const logmodel::LogRecord& record,
+                                          std::string_view detail);
 
   /// Convenience: feed a whole time-sorted store.
   [[nodiscard]] std::vector<Alert> ingest_all(const logmodel::LogStore& store);

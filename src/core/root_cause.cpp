@@ -36,7 +36,7 @@ Evidence RootCauseEngine::collect_evidence(const LogStore& store, const FailureE
       case EventType::AppExitAbnormal: ev.app_exit_abnormal = true; break;
       case EventType::BiosError: ev.bios_error = true; break;
       case EventType::L0SysdMce: ev.l0_sysd_mce = true; break;
-      case EventType::CallTrace: ev.stack_modules.push_back(r.detail); break;
+      case EventType::CallTrace: ev.stack_modules.emplace_back(store.detail(r)); break;
       default: break;
     }
   }

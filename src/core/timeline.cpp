@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/strings.hpp"
+
 namespace hpcfail::core {
 
 using logmodel::EventType;
@@ -44,7 +46,7 @@ NodeTimeline TimelineBuilder::build(platform::NodeId node, util::TimePoint begin
       // Planned maintenance is not lost availability; standard practice is
       // to count unplanned downtime only.
       if (r.type == EventType::NodeShutdown &&
-          r.detail.find("scheduled maintenance") != std::string::npos) {
+          util::contains(store_.detail(r), "scheduled maintenance")) {
         continue;
       }
       if (state != NodeState::Down) close_segment(r.time, NodeState::Down);

@@ -11,8 +11,9 @@ using logmodel::RootCause;
 using logmodel::Severity;
 
 ChainEmitter::ChainEmitter(const platform::Topology& topo, const FailureProcessConfig& config,
-                           std::vector<LogRecord>& out, GroundTruth& truth, util::Rng& rng)
-    : topo_(topo), config_(config), out_(out), truth_(truth), rng_(rng) {}
+                           std::vector<LogRecord>& out, logmodel::SymbolTable& symbols,
+                           GroundTruth& truth, util::Rng& rng)
+    : topo_(topo), config_(config), out_(out), symbols_(symbols), truth_(truth), rng_(rng) {}
 
 LogRecord ChainEmitter::base(util::TimePoint t, LogSource src, EventType type, Severity sev,
                              platform::NodeId node) const {
@@ -50,15 +51,15 @@ std::string ChainEmitter::emit_oops_with_trace(platform::NodeId node, util::Time
                                                std::int64_t job_id) {
   LogRecord oops = base(t, LogSource::Console, EventType::KernelOops, Severity::Critical, node);
   oops.job_id = job_id;
-  oops.detail = "BUG: unable to handle kernel paging request";
+  oops.detail = sym("BUG: unable to handle kernel paging request");
   push(std::move(oops));
   std::string lead_module;
   for (std::size_t i = 0; i < modules.size(); ++i) {
     LogRecord frame = base(t + util::Duration::milliseconds(static_cast<std::int64_t>(i) + 1),
                            LogSource::Console, EventType::CallTrace, Severity::Error, node);
     frame.job_id = job_id;
-    frame.detail = std::string(modules[i]);
-    if (i == 0) lead_module = frame.detail;
+    frame.detail = sym(modules[i]);
+    if (i == 0) lead_module = std::string(modules[i]);
     push(std::move(frame));
   }
   return lead_module;
@@ -92,20 +93,20 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
     if (!rng_.bernoulli(probability)) return;
     LogRecord nhf = base(fail_time + minutes_jitter(0.3, 2.0), LogSource::Erd,
                          EventType::NodeHeartbeatFault, Severity::Error, node);
-    nhf.detail = "node heartbeat fault: failed health test";
+    nhf.detail = sym("node heartbeat fault: failed health test");
     push(std::move(nhf));
   };
   auto emit_shutdown = [this, node, fail_time, jid](EventType marker) {
     LogRecord down = base(fail_time, LogSource::Console, marker, Severity::Fatal, node);
     down.job_id = jid;
-    down.detail = marker == EventType::NodeHalt ? "node set to admindown"
-                                                : "anomalous shutdown";
+    down.detail = sym(marker == EventType::NodeHalt ? "node set to admindown"
+                                                    : "anomalous shutdown");
     push(std::move(down));
   };
   auto emit_reboot = [this, node, fail_time] {
     LogRecord boot = base(fail_time + minutes_jitter(8.0, 45.0), LogSource::Console,
                           EventType::NodeBoot, Severity::Info, node);
-    boot.detail = "node rebooted";
+    boot.detail = sym("node rebooted");
     push(std::move(boot));
   };
 
@@ -113,23 +114,23 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
     case RootCause::HardwareMce: {
       LogRecord hw = base(first_internal, LogSource::Console, EventType::HardwareError,
                           Severity::Error, node);
-      hw.detail = "uncorrectable DIMM error";
+      hw.detail = sym("uncorrectable DIMM error");
       push(std::move(hw));
       LogRecord mce = base(fail_time - minutes_jitter(0.2, 1.5), LogSource::Console,
                            EventType::MachineCheckException, Severity::Critical, node);
-      mce.detail = "Machine Check Exception: bank 4: memory read error";
+      mce.detail = sym("Machine Check Exception: bank 4: memory read error");
       push(std::move(mce));
       if (rng_.bernoulli(0.3)) {
         LogRecord cpu = base(fail_time - minutes_jitter(0.1, 0.8), LogSource::Console,
                              EventType::CpuCorruption, Severity::Critical, node);
-        cpu.detail = "processor context corrupt";
+        cpu.detail = sym("processor context corrupt");
         push(std::move(cpu));
       }
       planted.stack_module = emit_oops_with_trace(
           node, fail_time - minutes_jitter(0.05, 0.3), {"mce_log", "do_machine_check"}, jid);
       LogRecord panic =
           base(fail_time, LogSource::Console, EventType::KernelPanic, Severity::Fatal, node);
-      panic.detail = "Kernel panic - not syncing: Fatal machine check";
+      panic.detail = sym("Kernel panic - not syncing: Fatal machine check");
       push(std::move(panic));
       emit_shutdown(EventType::NodeShutdown);
       emit_post_failure_nhf(0.85);
@@ -152,19 +153,19 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
         LogRecord hw = blade_event(fail_time - external_lead + offset, LogSource::Erd,
                                    EventType::EcHwError, Severity::Warning, planted.blade);
         hw.node = node;
-        hw.detail = "ec_hw_error: corrected memory error threshold";
+        hw.detail = sym("ec_hw_error: corrected memory error threshold");
         push(std::move(hw));
       }
       if (rng_.bernoulli(0.7)) {
         LogRecord link = blade_event(first_external + minutes_jitter(0.5, 4.0), LogSource::Erd,
                                      EventType::LinkError, Severity::Warning, planted.blade);
-        link.detail = "HSN link degraded";
+        link.detail = sym("HSN link degraded");
         push(std::move(link));
       }
       if (rng_.bernoulli(0.8)) {
         LogRecord nvf = base(fail_time - minutes_jitter(1.0, 9.0), LogSource::Erd,
                              EventType::NodeVoltageFault, Severity::Error, node);
-        nvf.detail = "node voltage fault: VDD out of range";
+        nvf.detail = sym("node voltage fault: VDD out of range");
         push(std::move(nvf));
       }
       if (rng_.bernoulli(0.5)) {
@@ -172,22 +173,22 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
             blade_event(fail_time - minutes_jitter(2.0, 15.0), LogSource::Controller,
                         EventType::SedcVoltageWarning, Severity::Warning, planted.blade);
         sedc.value = 11.2;
-        sedc.detail = "SEDC voltage below minimum";
+        sedc.detail = sym("SEDC voltage below minimum");
         push(std::move(sedc));
       }
       LogRecord hw = base(first_internal, LogSource::Console, EventType::HardwareError,
                           Severity::Error, node);
-      hw.detail = "correctable memory errors exceeding threshold";
+      hw.detail = sym("correctable memory errors exceeding threshold");
       push(std::move(hw));
       LogRecord mce = base(fail_time - minutes_jitter(0.2, 1.2), LogSource::Console,
                            EventType::MachineCheckException, Severity::Critical, node);
-      mce.detail = "MCE: memory controller read error";
+      mce.detail = sym("MCE: memory controller read error");
       push(std::move(mce));
       planted.stack_module = emit_oops_with_trace(
           node, fail_time - minutes_jitter(0.05, 0.3), {"mce_log", "memory_failure"}, jid);
       LogRecord panic =
           base(fail_time, LogSource::Console, EventType::KernelPanic, Severity::Fatal, node);
-      panic.detail = "Kernel panic - not syncing: hardware failure";
+      panic.detail = sym("Kernel panic - not syncing: hardware failure");
       push(std::move(panic));
       emit_shutdown(EventType::NodeShutdown);
       emit_post_failure_nhf(0.85);
@@ -198,8 +199,9 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
           rng_.bernoulli(0.6) ? EventType::InvalidOpcode : EventType::CpuStall;
       LogRecord trig = base(first_internal, LogSource::Console, trigger, Severity::Error, node);
       trig.job_id = jid;
-      trig.detail = trigger == EventType::InvalidOpcode ? "invalid opcode: 0000 [#1] SMP"
-                                                        : "INFO: rcu_sched self-detected stall";
+      trig.detail = sym(trigger == EventType::InvalidOpcode
+                            ? "invalid opcode: 0000 [#1] SMP"
+                            : "INFO: rcu_sched self-detected stall");
       push(std::move(trig));
       planted.stack_module =
           emit_oops_with_trace(node, fail_time - minutes_jitter(0.1, 0.9),
@@ -207,7 +209,7 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
       LogRecord panic =
           base(fail_time, LogSource::Console, EventType::KernelPanic, Severity::Fatal, node);
       panic.job_id = jid;
-      panic.detail = "Kernel panic - not syncing: Fatal exception";
+      panic.detail = sym("Kernel panic - not syncing: Fatal exception");
       push(std::move(panic));
       emit_shutdown(EventType::NodeShutdown);
       emit_post_failure_nhf(0.35);
@@ -219,20 +221,20 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
         LogRecord le = base(first_internal + minutes_jitter(0.0, 1.5), LogSource::Console,
                             EventType::LustreError, Severity::Error, node);
         le.job_id = jid;
-        le.detail = "LustreError: ost_write operation failed";
+        le.detail = sym("LustreError: ost_write operation failed");
         push(std::move(le));
       }
       if (rng_.bernoulli(0.5)) {
         LogRecord dvs = base(fail_time - minutes_jitter(0.5, 2.0), LogSource::Console,
                              EventType::DvsError, Severity::Error, node);
         dvs.job_id = jid;
-        dvs.detail = "DVS: file system request timed out";
+        dvs.detail = sym("DVS: file system request timed out");
         push(std::move(dvs));
       }
       LogRecord lbug = base(fail_time - minutes_jitter(0.2, 1.0), LogSource::Console,
                             EventType::LustreBug, Severity::Critical, node);
       lbug.job_id = jid;
-      lbug.detail = "LBUG: ASSERTION failed: race in thread spawn";
+      lbug.detail = sym("LBUG: ASSERTION failed: race in thread spawn");
       push(std::move(lbug));
       planted.stack_module = emit_oops_with_trace(
           node, fail_time - minutes_jitter(0.05, 0.3),
@@ -247,14 +249,14 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
         LogRecord pa = base(first_internal + minutes_jitter(0.0, 1.0), LogSource::Console,
                             EventType::PageAllocationFailure, Severity::Error, node);
         pa.job_id = jid;
-        pa.detail = "page allocation failure: order:4";
+        pa.detail = sym("page allocation failure: order:4");
         push(std::move(pa));
       }
       LogRecord oom = base(fail_time - minutes_jitter(0.5, 3.0), LogSource::Console,
                            EventType::OomKill, Severity::Critical, node);
       oom.job_id = jid;
-      oom.detail = job != nullptr ? "Out of memory: kill process " + job->app_name
-                                  : "Out of memory: kill process";
+      oom.detail = sym(job != nullptr ? "Out of memory: kill process " + job->app_name
+                                      : std::string("Out of memory: kill process"));
       push(std::move(oom));
       planted.stack_module = emit_oops_with_trace(
           node, fail_time - minutes_jitter(0.1, 0.5),
@@ -263,7 +265,7 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
         LogRecord nhc = base(fail_time - minutes_jitter(0.05, 0.4), LogSource::Messages,
                              EventType::NhcTestFail, Severity::Error, node);
         nhc.job_id = jid;
-        nhc.detail = "NHC: memory test failed";
+        nhc.detail = sym("NHC: memory test failed");
         push(std::move(nhc));
       }
       emit_shutdown(EventType::NodeHalt);
@@ -274,21 +276,21 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
       LogRecord app = base(first_internal, LogSource::Messages, EventType::AppExitAbnormal,
                            Severity::Error, node);
       app.job_id = jid;
-      app.detail = job != nullptr ? "abnormal exit of application " + job->app_name
-                                  : "abnormal application exit";
+      app.detail = sym(job != nullptr ? "abnormal exit of application " + job->app_name
+                                      : std::string("abnormal application exit"));
       push(std::move(app));
       const int tests = static_cast<int>(rng_.uniform_int(1, 3));
       for (int i = 0; i < tests; ++i) {
         LogRecord nhc = base(first_internal + minutes_jitter(0.1, 1.5), LogSource::Messages,
                              EventType::NhcTestFail, Severity::Error, node);
         nhc.job_id = jid;
-        nhc.detail = "NHC: application exit test failed";
+        nhc.detail = sym("NHC: application exit test failed");
         push(std::move(nhc));
       }
       LogRecord suspect = base(fail_time - minutes_jitter(0.2, 1.0), LogSource::Messages,
                                EventType::NhcSuspectMode, Severity::Warning, node);
       suspect.job_id = jid;
-      suspect.detail = "NHC: node placed in suspect mode";
+      suspect.detail = sym("NHC: node placed in suspect mode");
       push(std::move(suspect));
       emit_shutdown(EventType::NodeHalt);
       emit_post_failure_nhf(0.15);
@@ -297,7 +299,7 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
     case RootCause::BiosUnknown: {
       LogRecord bios = base(first_internal, LogSource::Console, EventType::BiosError,
                             Severity::Error, node);
-      bios.detail = "type:2; severity:80; class:3; subclass:D; operation:2";
+      bios.detail = sym("type:2; severity:80; class:3; subclass:D; operation:2");
       push(std::move(bios));
       emit_shutdown(EventType::NodeShutdown);
       emit_post_failure_nhf(0.6);
@@ -306,7 +308,7 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
     case RootCause::L0SysdMceUnknown: {
       LogRecord l0 = base(first_internal, LogSource::Controller, EventType::L0SysdMce,
                           Severity::Error, node);
-      l0.detail = "L0_sysd_mce: memory error reported by blade controller";
+      l0.detail = sym("L0_sysd_mce: memory error reported by blade controller");
       push(std::move(l0));
       emit_shutdown(EventType::NodeShutdown);
       emit_post_failure_nhf(0.6);
@@ -333,8 +335,8 @@ const PlantedFailure& ChainEmitter::plant_failure(platform::NodeId node,
 
 void ChainEmitter::emit_benign_nhf(platform::NodeId node, util::TimePoint t, bool power_off) {
   LogRecord nhf = base(t, LogSource::Erd, EventType::NodeHeartbeatFault, Severity::Warning, node);
-  nhf.detail = power_off ? "node heartbeat fault: node powered off"
-                         : "node heartbeat fault: skipped heartbeat";
+  nhf.detail = sym(power_off ? "node heartbeat fault: node powered off"
+                             : "node heartbeat fault: skipped heartbeat");
   push(std::move(nhf));
   if (power_off) {
     ++truth_.benign.nhf_power_off;
@@ -345,7 +347,7 @@ void ChainEmitter::emit_benign_nhf(platform::NodeId node, util::TimePoint t, boo
 
 void ChainEmitter::emit_benign_nvf(platform::NodeId node, util::TimePoint t) {
   LogRecord nvf = base(t, LogSource::Erd, EventType::NodeVoltageFault, Severity::Warning, node);
-  nvf.detail = "node voltage fault: transient rail dip";
+  nvf.detail = sym("node voltage fault: transient rail dip");
   push(std::move(nvf));
   ++truth_.benign.nvf_benign;
 }
@@ -354,7 +356,7 @@ void ChainEmitter::emit_sedc_warning(platform::BladeId blade, util::TimePoint t,
                                      EventType warning, double value) {
   LogRecord w = blade_event(t, LogSource::Controller, warning, Severity::Warning, blade);
   w.value = value;
-  w.detail = "ec_sedc_warning: reading outside allowed band";
+  w.detail = sym("ec_sedc_warning: reading outside allowed band");
   push(std::move(w));
   ++truth_.benign.sedc_warnings;
 }
@@ -372,7 +374,7 @@ void ChainEmitter::emit_cabinet_fault(platform::CabinetId cabinet, util::TimePoi
   f.type = kKinds[static_cast<std::size_t>(rng_.uniform_int(0, 7))];
   f.severity = Severity::Warning;
   f.cabinet = cabinet;
-  f.detail = "cabinet controller fault";
+  f.detail = sym("cabinet controller fault");
   push(std::move(f));
   ++truth_.benign.cabinet_faults;
 }
@@ -385,16 +387,16 @@ void ChainEmitter::emit_benign_node_errors(platform::NodeId node, util::TimePoin
                        Severity::Warning, node);
     switch (type) {
       case EventType::HardwareError:
-        e.detail = "correctable memory error";
+        e.detail = sym("correctable memory error");
         break;
       case EventType::MachineCheckException:
-        e.detail = "MCE log trigger: corrected error count exceeded threshold";
+        e.detail = sym("MCE log trigger: corrected error count exceeded threshold");
         break;
       case EventType::LustreError:
-        e.detail = "LustreError: page fault lock timeout";
+        e.detail = sym("LustreError: page fault lock timeout");
         break;
       default:
-        e.detail = "transient error";
+        e.detail = sym("transient error");
         break;
     }
     push(std::move(e));
@@ -410,15 +412,15 @@ void ChainEmitter::emit_benign_node_errors(platform::NodeId node, util::TimePoin
 void ChainEmitter::emit_hung_task(platform::NodeId node, util::TimePoint t) {
   LogRecord hung = base(t, LogSource::Console, EventType::HungTaskTimeout, Severity::Warning,
                         node);
-  hung.detail = "INFO: task blocked for more than 120 seconds";
+  hung.detail = sym("INFO: task blocked for more than 120 seconds");
   push(std::move(hung));
   LogRecord frame = base(t + util::Duration::milliseconds(2), LogSource::Console,
                          EventType::CallTrace, Severity::Warning, node);
-  frame.detail = "io_schedule";
+  frame.detail = sym("io_schedule");
   push(std::move(frame));
   LogRecord frame2 = base(t + util::Duration::milliseconds(3), LogSource::Console,
                           EventType::CallTrace, Severity::Warning, node);
-  frame2.detail = "sleep_on_page";
+  frame2.detail = sym("sleep_on_page");
   push(std::move(frame2));
   ++truth_.benign.hung_task_nodes;
 }
@@ -428,7 +430,7 @@ void ChainEmitter::emit_background_ec_hw_error(platform::BladeId blade, util::Ti
   // full Table III event vocabulary appears in healthy logs too.
   const double roll = rng_.uniform();
   EventType type = EventType::EcHwError;
-  std::string detail = "ec_hw_error: transient corrected error";
+  std::string_view detail = "ec_hw_error: transient corrected error";
   if (roll > 0.85) {
     type = EventType::EcHeartbeatStop;
     detail = "heartbeat stream stopped and resumed";
@@ -437,13 +439,13 @@ void ChainEmitter::emit_background_ec_hw_error(platform::BladeId blade, util::Ti
     detail = "blade controller transient failure";
   }
   LogRecord hw = blade_event(t, LogSource::Erd, type, Severity::Warning, blade);
-  hw.detail = std::move(detail);
+  hw.detail = sym(detail);
   push(std::move(hw));
 }
 
 void ChainEmitter::emit_benign_oom(platform::NodeId node, util::TimePoint t) {
   LogRecord oom = base(t, LogSource::Console, EventType::OomKill, Severity::Warning, node);
-  oom.detail = "Out of memory: kill process user_app";
+  oom.detail = sym("Out of memory: kill process user_app");
   push(std::move(oom));
   (void)emit_oops_with_trace(node, t + util::Duration::seconds(1),
                              {"xpmem", "dvsipc"}, logmodel::kNoJob);
@@ -454,7 +456,7 @@ void ChainEmitter::emit_benign_sw_error(platform::NodeId node, util::TimePoint t
   LogRecord e = base(t, LogSource::Console,
                      segv ? EventType::SegFault : EventType::PageAllocationFailure,
                      Severity::Warning, node);
-  e.detail = segv ? "user binary fault" : "page allocation failure: order:2";
+  e.detail = sym(segv ? "user binary fault" : "page allocation failure: order:2");
   push(std::move(e));
 }
 
@@ -462,18 +464,18 @@ void ChainEmitter::emit_multi_error_episode(platform::NodeId node, util::TimePoi
                                             bool with_external) {
   LogRecord hw = base(t, LogSource::Console, EventType::HardwareError, Severity::Warning,
                       node);
-  hw.detail = "correctable memory error burst";
+  hw.detail = sym("correctable memory error burst");
   push(std::move(hw));
   LogRecord mce = base(t + minutes_jitter(1.0, 6.0), LogSource::Console,
                        EventType::MachineCheckException, Severity::Warning, node);
-  mce.detail = "MCE log trigger: corrected error threshold";
+  mce.detail = sym("MCE log trigger: corrected error threshold");
   push(std::move(mce));
   if (with_external) {
     LogRecord ec = blade_event(t - minutes_jitter(1.0, 10.0), LogSource::Erd,
                                EventType::EcHwError, Severity::Warning,
                                topo_.blade_of(node));
     ec.node = node;
-    ec.detail = "ec_hw_error: corrected error reported";
+    ec.detail = sym("ec_hw_error: corrected error reported");
     push(std::move(ec));
   }
 }
@@ -482,25 +484,25 @@ void ChainEmitter::emit_lane_degrade(platform::BladeId blade, util::TimePoint t,
                                      bool failover_ok) {
   LogRecord degrade =
       blade_event(t, LogSource::Erd, EventType::LaneDegrade, Severity::Warning, blade);
-  degrade.detail = "HSN lane degraded: bandwidth reduced";
+  degrade.detail = sym("HSN lane degraded: bandwidth reduced");
   push(std::move(degrade));
   if (failover_ok) {
     LogRecord failover = blade_event(t + minutes_jitter(0.05, 0.5), LogSource::Erd,
                                      EventType::LinkFailover, Severity::Info, blade);
-    failover.detail = "traffic re-routed";
+    failover.detail = sym("traffic re-routed");
     push(std::move(failover));
     return;
   }
   LogRecord failed = blade_event(t + minutes_jitter(0.05, 0.5), LogSource::Erd,
                                  EventType::LinkFailoverFailed, Severity::Error, blade);
-  failed.detail = "failover did not complete";
+  failed.detail = sym("failover did not complete");
   push(std::move(failed));
   // The blade's nodes see interconnect errors until routing recovers.
   for (const auto node : topo_.nodes_on_blade(blade)) {
     if (!rng_.bernoulli(0.6)) continue;
     LogRecord err = base(t + minutes_jitter(0.2, 3.0), LogSource::Console,
                          EventType::InterconnectError, Severity::Error, node);
-    err.detail = "lane failover incomplete";
+    err.detail = sym("lane failover incomplete");
     push(std::move(err));
   }
 }
@@ -508,11 +510,11 @@ void ChainEmitter::emit_lane_degrade(platform::BladeId blade, util::TimePoint t,
 void ChainEmitter::emit_intended_shutdown(platform::NodeId node, util::TimePoint t,
                                           util::Duration downtime) {
   LogRecord down = base(t, LogSource::Console, EventType::NodeShutdown, Severity::Info, node);
-  down.detail = "scheduled maintenance shutdown";
+  down.detail = sym("scheduled maintenance shutdown");
   push(std::move(down));
   LogRecord boot =
       base(t + downtime, LogSource::Console, EventType::NodeBoot, Severity::Info, node);
-  boot.detail = "node rebooted";
+  boot.detail = sym("node rebooted");
   push(std::move(boot));
   ++truth_.benign.intended_shutdown_nodes;
 }
@@ -523,15 +525,15 @@ void ChainEmitter::emit_swo(const std::vector<platform::NodeId>& nodes, util::Ti
     // The file-system incident is visible on every node before it goes down.
     LogRecord le = base(t - minutes_jitter(0.5, 4.0), LogSource::Console,
                         EventType::LustreError, Severity::Critical, node);
-    le.detail = "LustreError: MDS connection lost";
+    le.detail = sym("LustreError: MDS connection lost");
     push(std::move(le));
     LogRecord down = base(t + minutes_jitter(0.0, 3.0), LogSource::Console,
                           EventType::NodeShutdown, Severity::Fatal, node);
-    down.detail = "anomalous shutdown";
+    down.detail = sym("anomalous shutdown");
     push(std::move(down));
     LogRecord boot = base(t + minutes_jitter(60.0, 180.0), LogSource::Console,
                           EventType::NodeBoot, Severity::Info, node);
-    boot.detail = "node rebooted";
+    boot.detail = sym("node rebooted");
     push(std::move(boot));
     ++truth_.benign.swo_shutdown_nodes;
   }
@@ -544,7 +546,7 @@ void ChainEmitter::emit_job_records(const jobs::Job& job) {
   start.type = EventType::JobStart;
   start.severity = Severity::Info;
   start.job_id = job.job_id;
-  start.detail = job.app_name;
+  start.detail = sym(job.app_name);
   push(std::move(start));
 
   LogRecord end;
@@ -554,7 +556,7 @@ void ChainEmitter::emit_job_records(const jobs::Job& job) {
   end.severity = job.failed() ? Severity::Error : Severity::Info;
   end.job_id = job.job_id;
   end.value = job.exit_code();
-  end.detail = std::string(to_string(job.outcome));
+  end.detail = sym(to_string(job.outcome));
   push(std::move(end));
 
   if (job.outcome == jobs::JobOutcome::UserCancelled) {
@@ -564,7 +566,7 @@ void ChainEmitter::emit_job_records(const jobs::Job& job) {
     cancel.type = EventType::JobCancelled;
     cancel.severity = Severity::Info;
     cancel.job_id = job.job_id;
-    cancel.detail = "scancel by user " + job.user;
+    cancel.detail = sym("scancel by user " + job.user);
     push(std::move(cancel));
   }
   if (job.outcome == jobs::JobOutcome::Overallocated) {
@@ -574,7 +576,7 @@ void ChainEmitter::emit_job_records(const jobs::Job& job) {
     over.type = EventType::JobOverallocation;
     over.severity = Severity::Warning;
     over.job_id = job.job_id;
-    over.detail = "allocated memory exceeds node capacity";
+    over.detail = sym("allocated memory exceeds node capacity");
     push(std::move(over));
   }
   // Epilogue runs on job end (the scheduler cleaning the nodes).
@@ -584,7 +586,7 @@ void ChainEmitter::emit_job_records(const jobs::Job& job) {
   epi.type = EventType::EpilogueRun;
   epi.severity = Severity::Info;
   epi.job_id = job.job_id;
-  epi.detail = "epilogue complete";
+  epi.detail = sym("epilogue complete");
   push(std::move(epi));
 }
 

@@ -26,6 +26,7 @@
 #include "faultsim/scenario.hpp"
 #include "jobs/job.hpp"
 #include "logmodel/record.hpp"
+#include "logmodel/symbol_table.hpp"
 #include "platform/topology.hpp"
 #include "util/rng.hpp"
 
@@ -33,8 +34,12 @@ namespace hpcfail::faultsim {
 
 class ChainEmitter {
  public:
+  /// Detail strings of every emitted record are interned into `symbols`,
+  /// which must outlive the emitted records (the simulator stores it next
+  /// to them in SimulationResult).
   ChainEmitter(const platform::Topology& topo, const FailureProcessConfig& config,
-               std::vector<logmodel::LogRecord>& out, GroundTruth& truth, util::Rng& rng);
+               std::vector<logmodel::LogRecord>& out, logmodel::SymbolTable& symbols,
+               GroundTruth& truth, util::Rng& rng);
 
   /// Plants a failure chain; `job` may be nullptr for non-job causes.
   /// Returns the recorded ground-truth entry.
@@ -87,7 +92,8 @@ class ChainEmitter {
   logmodel::LogRecord blade_event(util::TimePoint t, logmodel::LogSource src,
                                   logmodel::EventType type, logmodel::Severity sev,
                                   platform::BladeId blade) const;
-  void push(logmodel::LogRecord r) { out_.push_back(std::move(r)); }
+  void push(logmodel::LogRecord r) { out_.push_back(r); }
+  [[nodiscard]] logmodel::Symbol sym(std::string_view text) { return symbols_.intern(text); }
 
   /// Emits a kernel oops with `frames` call-trace lines; the first frame's
   /// module is returned (the "preliminary calltrace" of Table IV).
@@ -100,6 +106,7 @@ class ChainEmitter {
   const platform::Topology& topo_;
   const FailureProcessConfig& config_;
   std::vector<logmodel::LogRecord>& out_;
+  logmodel::SymbolTable& symbols_;
   GroundTruth& truth_;
   util::Rng& rng_;
 };

@@ -56,6 +56,7 @@ struct Simulator::RunState {
   util::Rng rng_benign;
   util::Rng rng_sensors;
   std::vector<LogRecord> records;
+  logmodel::SymbolTable symbols;
   std::vector<jobs::Job> jobs;
   GroundTruth truth;
   ChainEmitter emitter;
@@ -69,7 +70,7 @@ struct Simulator::RunState {
         rng_failures(root.fork(2)),
         rng_benign(root.fork(3)),
         rng_sensors(root.fork(4)),
-        emitter(topo, cfg.failures, records, truth, rng_failures) {}
+        emitter(topo, cfg.failures, records, symbols, truth, rng_failures) {}
 };
 
 Simulator::Simulator(ScenarioConfig config) : config_(std::move(config)) {}
@@ -113,8 +114,8 @@ SimulationResult Simulator::run() {
     for (const auto& job : st.jobs) st.emitter.emit_job_records(job);
   }
 
-  SimulationResult result{config_, st.topo, std::move(st.records), std::move(st.jobs),
-                          std::move(st.truth)};
+  SimulationResult result{config_, st.topo,          std::move(st.records),
+                          std::move(st.symbols), std::move(st.jobs), std::move(st.truth)};
   return result;
 }
 
@@ -216,7 +217,7 @@ void Simulator::generate_failures(RunState& st) {
         bchf.severity = Severity::Warning;
         bchf.blade = planted.blade;
         bchf.cabinet = planted.cabinet;
-        bchf.detail = "blade controller health fault";
+        bchf.detail = st.symbols.intern("blade controller health fault");
         st.records.push_back(std::move(bchf));
       }
       t = t + util::Duration::seconds(static_cast<std::int64_t>(
@@ -487,7 +488,7 @@ void Simulator::generate_sensor_readings(RunState& st) {
         r.node = node;
         r.blade = blade;
         r.cabinet = st.topo.cabinet_of_blade(blade);
-        r.detail = "CpuTemperature";
+        r.detail = st.symbols.intern("CpuTemperature");
         const bool off = st.powered_off.contains(node.value);
         r.value = off ? 0.0
                       : model.reading(sensors::SensorKind::CpuTemperature) +

@@ -23,12 +23,14 @@ struct SimulationResult {
   ScenarioConfig config;
   platform::Topology topology;
   std::vector<logmodel::LogRecord> records;  ///< unsorted; LogStore sorts
+  logmodel::SymbolTable symbols;             ///< resolves records[i].detail
   std::vector<jobs::Job> jobs;
   GroundTruth truth;
 
-  /// Builds a finalized LogStore over a copy of the records.
+  /// Builds a finalized LogStore over a copy of the records (and of the
+  /// symbol table resolving their details).
   [[nodiscard]] logmodel::LogStore make_store() const {
-    return logmodel::LogStore{std::vector<logmodel::LogRecord>(records)};
+    return logmodel::LogStore{std::vector<logmodel::LogRecord>(records), symbols};
   }
 };
 

@@ -41,9 +41,10 @@ SimulationResult overallocation_day(std::uint64_t seed) {
   cfg.failures.failure_day_fraction = 0.0;
   cfg.failures.isolated_failures_per_day = 0.0;
 
-  SimulationResult result{cfg, platform::Topology{cfg.system.topology}, {}, {}, {}};
+  SimulationResult result{cfg, platform::Topology{cfg.system.topology}, {}, {}, {}, {}};
   util::Rng rng{seed ^ 0x5eedf00dULL};
-  ChainEmitter emitter(result.topology, cfg.failures, result.records, result.truth, rng);
+  ChainEmitter emitter(result.topology, cfg.failures, result.records, result.symbols,
+                       result.truth, rng);
 
   std::uint32_t next_node = 0;
   std::int64_t job_id = 600001;
@@ -98,12 +99,13 @@ SimulationResult case_base(std::uint64_t seed, int days = 1) {
   cfg.failures.cause_weights = {};
   cfg.failures.failure_day_fraction = 0.0;
   cfg.failures.isolated_failures_per_day = 0.0;
-  return SimulationResult{cfg, platform::Topology{cfg.system.topology}, {}, {}, {}};
+  return SimulationResult{cfg, platform::Topology{cfg.system.topology}, {}, {}, {}, {}};
 }
 
-LogRecord node_rec(const platform::Topology& topo, util::TimePoint t, LogSource src,
+LogRecord node_rec(SimulationResult& sim, util::TimePoint t, LogSource src,
                    EventType type, Severity sev, platform::NodeId node,
-                   std::string detail) {
+                   std::string_view detail) {
+  const platform::Topology& topo = sim.topology;
   LogRecord r;
   r.time = t;
   r.source = src;
@@ -112,7 +114,7 @@ LogRecord node_rec(const platform::Topology& topo, util::TimePoint t, LogSource 
   r.node = node;
   r.blade = topo.blade_of(node);
   r.cabinet = topo.cabinet_of(node);
-  r.detail = std::move(detail);
+  r.detail = sim.symbols.intern(detail);
   return r;
 }
 
@@ -134,17 +136,17 @@ std::vector<CaseStudy> build_case_studies(std::uint64_t seed) {
     cs.sim = case_base(seed + 1);
     util::Rng rng{seed + 1};
     ChainEmitter emitter(cs.sim.topology, cs.sim.config.failures, cs.sim.records,
-                         cs.sim.truth, rng);
+                         cs.sim.symbols, cs.sim.truth, rng);
     const util::TimePoint t = cs.sim.config.begin + util::Duration::hours(9);
     const platform::NodeId victim{40};
     emitter.plant_failure(victim, t, RootCause::L0SysdMceUnknown, nullptr);
     // NHC warning shortly before, neighbours with benign correctable errors.
-    cs.sim.records.push_back(node_rec(cs.sim.topology, t - util::Duration::minutes(1),
+    cs.sim.records.push_back(node_rec(cs.sim, t - util::Duration::minutes(1),
                                       LogSource::Messages, EventType::NhcTestFail,
                                       Severity::Warning, victim, "NHC: warning"));
     for (const auto n : cs.sim.topology.nodes_on_blade(cs.sim.topology.blade_of(victim))) {
       if (n == victim) continue;
-      cs.sim.records.push_back(node_rec(cs.sim.topology, t - util::Duration::minutes(30),
+      cs.sim.records.push_back(node_rec(cs.sim, t - util::Duration::minutes(30),
                                         LogSource::Console, EventType::HardwareError,
                                         Severity::Warning, n, "correctable SSID error"));
     }
@@ -163,7 +165,7 @@ std::vector<CaseStudy> build_case_studies(std::uint64_t seed) {
     cs.sim = case_base(seed + 2);
     util::Rng rng{seed + 2};
     ChainEmitter emitter(cs.sim.topology, cs.sim.config.failures, cs.sim.records,
-                         cs.sim.truth, rng);
+                         cs.sim.symbols, cs.sim.truth, rng);
     const util::TimePoint base = cs.sim.config.begin;
     const platform::NodeId victims[] = {platform::NodeId{12}, platform::NodeId{300},
                                         platform::NodeId{902}};
@@ -177,7 +179,7 @@ std::vector<CaseStudy> build_case_studies(std::uint64_t seed) {
     emitter.emit_sedc_warning(cs.sim.topology.blade_of(victims[0]),
                               base + util::Duration::hours(20),
                               EventType::SedcTemperatureWarning, 71.0);
-    cs.sim.records.push_back(node_rec(cs.sim.topology, base + util::Duration::hours(21),
+    cs.sim.records.push_back(node_rec(cs.sim, base + util::Duration::hours(21),
                                       LogSource::Erd, EventType::LinkError, Severity::Warning,
                                       victims[0], "Aries link error"));
     cases.push_back(std::move(cs));
@@ -194,7 +196,7 @@ std::vector<CaseStudy> build_case_studies(std::uint64_t seed) {
     cs.sim = case_base(seed + 3);
     util::Rng rng{seed + 3};
     ChainEmitter emitter(cs.sim.topology, cs.sim.config.failures, cs.sim.records,
-                         cs.sim.truth, rng);
+                         cs.sim.symbols, cs.sim.truth, rng);
     jobs::Job job;
     job.job_id = 777001;
     job.apid = job.job_id * 10 + 7;
@@ -230,7 +232,7 @@ std::vector<CaseStudy> build_case_studies(std::uint64_t seed) {
     cs.sim = case_base(seed + 4);
     util::Rng rng{seed + 4};
     ChainEmitter emitter(cs.sim.topology, cs.sim.config.failures, cs.sim.records,
-                         cs.sim.truth, rng);
+                         cs.sim.symbols, cs.sim.truth, rng);
     jobs::Job job;
     job.job_id = 777002;
     job.apid = job.job_id * 10 + 7;
@@ -247,7 +249,7 @@ std::vector<CaseStudy> build_case_studies(std::uint64_t seed) {
     cs.sim.jobs.push_back(job);
     emitter.emit_job_records(cs.sim.jobs.back());
     // Distant environmental noise.
-    cs.sim.records.push_back(node_rec(cs.sim.topology, t - util::Duration::hours(6),
+    cs.sim.records.push_back(node_rec(cs.sim, t - util::Duration::hours(6),
                                       LogSource::Erd, EventType::LinkError, Severity::Warning,
                                       job.nodes[0], "Aries link error"));
     cases.push_back(std::move(cs));
@@ -264,7 +266,7 @@ std::vector<CaseStudy> build_case_studies(std::uint64_t seed) {
     cs.sim = case_base(seed + 5);
     util::Rng rng{seed + 5};
     ChainEmitter emitter(cs.sim.topology, cs.sim.config.failures, cs.sim.records,
-                         cs.sim.truth, rng);
+                         cs.sim.symbols, cs.sim.truth, rng);
     const util::TimePoint t = cs.sim.config.begin + util::Duration::hours(16);
     emitter.plant_failure(platform::NodeId{128}, t, RootCause::FailSlowHardware, nullptr);
     cases.push_back(std::move(cs));

@@ -64,16 +64,35 @@ void JobTable::mark_cancelled(std::int64_t job_id) {
 
 void JobTable::finalize() {
   if (finalized_) return;
-  by_node_.clear();
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    for (const auto node : jobs_[i].nodes) {
-      by_node_[node.value].push_back(i);
-    }
+  // CSR build: count per node, prefix-sum into offsets, fill job indexes,
+  // then sort each node's run by start time (see util/csr.hpp).
+  by_node_ = {};
+  std::uint32_t node_keys = 0;
+  for (const JobInfo& j : jobs_) {
+    for (const auto node : j.nodes) node_keys = std::max(node_keys, node.value + 1);
   }
-  for (auto& [node, idx] : by_node_) {
-    std::sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
-      return jobs_[a].start < jobs_[b].start;
-    });
+  if (node_keys != 0) {
+    by_node_.offsets.assign(std::size_t{node_keys} + 1, 0);
+    for (const JobInfo& j : jobs_) {
+      for (const auto node : j.nodes) ++by_node_.offsets[node.value + 1];
+    }
+    for (std::size_t k = 1; k < by_node_.offsets.size(); ++k) {
+      by_node_.offsets[k] += by_node_.offsets[k - 1];
+    }
+    by_node_.entries.resize(by_node_.offsets.back());
+    std::vector<std::uint32_t> cursor = by_node_.offsets;
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      for (const auto node : jobs_[i].nodes) {
+        by_node_.entries[cursor[node.value]++] = static_cast<std::uint32_t>(i);
+      }
+    }
+    for (std::uint32_t k = 0; k < node_keys; ++k) {
+      const auto begin = by_node_.entries.begin() + by_node_.offsets[k];
+      const auto end = by_node_.entries.begin() + by_node_.offsets[k + 1];
+      std::sort(begin, end, [this](std::uint32_t a, std::uint32_t b) {
+        return jobs_[a].start < jobs_[b].start;
+      });
+    }
   }
   finalized_ = true;
 }
@@ -85,9 +104,7 @@ const JobInfo* JobTable::find(std::int64_t job_id) const noexcept {
 
 const JobInfo* JobTable::job_on_node_at(platform::NodeId node, util::TimePoint t,
                                         util::Duration slack) const noexcept {
-  const auto it = by_node_.find(node.value);
-  if (it == by_node_.end()) return nullptr;
-  for (const std::size_t idx : it->second) {
+  for (const std::uint32_t idx : by_node_.of(node.value)) {
     const JobInfo& j = jobs_[idx];
     if (j.start - slack <= t && t < j.end + slack) return &j;
     if (j.start - slack > t) break;  // sorted by start; no later job matches

@@ -13,6 +13,7 @@
 
 #include "jobs/job.hpp"
 #include "platform/ids.hpp"
+#include "util/csr.hpp"
 #include "util/time.hpp"
 
 namespace hpcfail::jobs {
@@ -68,8 +69,10 @@ class JobTable {
  private:
   std::vector<JobInfo> jobs_;
   std::unordered_map<std::int64_t, std::size_t> by_id_;
-  /// node -> indexes of jobs touching it, sorted by start.
-  std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_node_;
+  /// node -> indexes (into jobs_) of jobs touching it, sorted by start.
+  /// One uint32 per (node, job) membership — a week of allocations holds
+  /// hundreds of thousands, so this is RSS-sensitive.
+  util::CsrIndex<std::uint32_t> by_node_;
   bool finalized_ = false;
 };
 

@@ -64,7 +64,7 @@ Corpus build_corpus(const faultsim::SimulationResult& sim) {
   corpus.days = sim.config.days;
 
   const bool has_external = corpus.system.name != platform::SystemName::S5;
-  LogRenderer renderer(sim.topology, corpus.system.scheduler);
+  LogRenderer renderer(sim.topology, corpus.system.scheduler, sim.symbols);
 
   // Render every non-scheduler record plus the routine chatter into
   // per-source (time, line) streams, then sort and concatenate.

@@ -70,8 +70,11 @@ std::optional<std::vector<platform::NodeId>> expand_node_list(std::string_view t
     const auto lo = util::parse_u64(piece.substr(0, dash));
     const auto hi = util::parse_u64(piece.substr(dash + 1));
     if (!lo || !hi || *hi < *lo || *hi - *lo > 1'000'000) return false;
+    const std::size_t base = out.size();
+    out.resize(base + static_cast<std::size_t>(*hi - *lo + 1));
     for (std::uint64_t v = *lo; v <= *hi; ++v) {
-      out.push_back(platform::NodeId{static_cast<std::uint32_t>(v)});
+      out[base + static_cast<std::size_t>(v - *lo)] =
+          platform::NodeId{static_cast<std::uint32_t>(v)};
     }
     return true;
   };
@@ -80,8 +83,34 @@ std::optional<std::vector<platform::NodeId>> expand_node_list(std::string_view t
     if (rest.back() != ']') return std::nullopt;
     const std::string_view inner = rest.substr(1, rest.size() - 2);
     if (inner.empty()) return out;  // explicit empty list
-    for (const auto piece : util::split(inner, ',')) {
-      if (!parse_one(piece)) return std::nullopt;
+    // Exact pre-count, ranges included: these vectors live for the whole
+    // run inside JobInfo, and growing ranges through resize strands up to
+    // ~40% capacity slack on mixed lists.  A piece the pre-count cannot
+    // parse is counted as 1; the fill loop below rejects it anyway.
+    std::size_t total = 0;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= inner.size(); ++i) {
+      if (i == inner.size() || inner[i] == ',') {
+        const std::string_view piece = inner.substr(start, i - start);
+        start = i + 1;
+        const std::size_t dash = piece.find('-');
+        if (dash == std::string_view::npos) {
+          ++total;
+          continue;
+        }
+        const auto lo = util::parse_u64(piece.substr(0, dash));
+        const auto hi = util::parse_u64(piece.substr(dash + 1));
+        if (!lo || !hi || *hi < *lo || *hi - *lo > 1'000'000) return std::nullopt;
+        total += static_cast<std::size_t>(*hi - *lo + 1);
+      }
+    }
+    out.reserve(total);
+    start = 0;
+    for (std::size_t i = 0; i <= inner.size(); ++i) {
+      if (i == inner.size() || inner[i] == ',') {
+        if (!parse_one(inner.substr(start, i - start))) return std::nullopt;
+        start = i + 1;
+      }
     }
     return out;
   }

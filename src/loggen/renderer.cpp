@@ -11,59 +11,61 @@ using logmodel::EventType;
 using logmodel::LogRecord;
 using logmodel::LogSource;
 
-LogRenderer::LogRenderer(const platform::Topology& topo, platform::SchedulerKind scheduler)
-    : topo_(topo), scheduler_(scheduler) {}
+LogRenderer::LogRenderer(const platform::Topology& topo, platform::SchedulerKind scheduler,
+                         const logmodel::SymbolTable& symbols)
+    : topo_(topo), scheduler_(scheduler), symbols_(symbols) {}
 
-std::string internal_payload(const LogRecord& r) {
+std::string internal_payload(const LogRecord& r, const logmodel::SymbolTable& symbols) {
+  const std::string detail{symbols.view(r.detail)};
   switch (r.type) {
     case EventType::KernelPanic:
-      return "Kernel panic - not syncing: " + r.detail;
+      return "Kernel panic - not syncing: " + detail;
     case EventType::KernelOops:
       return "BUG: unable to handle kernel paging request at 00000000deadbeef";
     case EventType::CallTrace:
-      return " [<ffffffff81234567>] " + r.detail + "+0x1a2/0x400";
+      return " [<ffffffff81234567>] " + detail + "+0x1a2/0x400";
     case EventType::MachineCheckException:
-      return "mce: [Hardware Error]: Machine check events logged: " + r.detail;
+      return "mce: [Hardware Error]: Machine check events logged: " + detail;
     case EventType::HardwareError:
-      return "EDAC MC0: " + r.detail;
+      return "EDAC MC0: " + detail;
     case EventType::CpuCorruption:
-      return "mce: [Hardware Error]: PCC processor context corrupt: " + r.detail;
+      return "mce: [Hardware Error]: PCC processor context corrupt: " + detail;
     case EventType::CpuStall:
-      return "INFO: rcu_sched self-detected stall on CPU: " + r.detail;
+      return "INFO: rcu_sched self-detected stall on CPU: " + detail;
     case EventType::BiosError:
-      return "HEST: " + r.detail;
+      return "HEST: " + detail;
     case EventType::FirmwareBug:
-      return "[Firmware Bug]: " + r.detail;
+      return "[Firmware Bug]: " + detail;
     case EventType::DriverBug:
-      return "WARNING: driver bug: " + r.detail;
+      return "WARNING: driver bug: " + detail;
     case EventType::SegFault:
-      return "app[31337]: segfault at 0 ip 00007f err 4: " + r.detail;
+      return "app[31337]: segfault at 0 ip 00007f err 4: " + detail;
     case EventType::InvalidOpcode:
-      return "invalid opcode: 0000 [#1] SMP: " + r.detail;
+      return "invalid opcode: 0000 [#1] SMP: " + detail;
     case EventType::PageAllocationFailure:
-      return r.detail + ", mode:0x4020";
+      return detail + ", mode:0x4020";
     case EventType::OomKill:
-      return r.detail + " score 987 or sacrifice child";
+      return detail + " score 987 or sacrifice child";
     case EventType::HungTaskTimeout:
-      return "INFO: task blocked for more than 120 seconds: " + r.detail;
+      return "INFO: task blocked for more than 120 seconds: " + detail;
     case EventType::LustreBug:
-      return "LustreError: LBUG - ASSERTION failed: " + r.detail;
+      return "LustreError: LBUG - ASSERTION failed: " + detail;
     case EventType::LustreError:
-      return "LustreError: 11-0: " + r.detail;
+      return "LustreError: 11-0: " + detail;
     case EventType::DvsError:
-      return "DVS: " + r.detail;
+      return "DVS: " + detail;
     case EventType::InodeError:
-      return "LDISKFS-fs error: bad inode: " + r.detail;
+      return "LDISKFS-fs error: bad inode: " + detail;
     case EventType::InterconnectError:
-      return "hsn: link error detected: " + r.detail;
+      return "hsn: link error detected: " + detail;
     case EventType::NodeShutdown:
-      return "Shutdown: system going down: " + r.detail;
+      return "Shutdown: system going down: " + detail;
     case EventType::NodeHalt:
-      return "System halted: " + r.detail;
+      return "System halted: " + detail;
     case EventType::NodeBoot:
-      return "Booting Linux on physical CPU 0x0: " + r.detail;
+      return "Booting Linux on physical CPU 0x0: " + detail;
     default:
-      return r.detail;
+      return detail;
   }
 }
 
@@ -87,7 +89,8 @@ std::string_view erd_event_name(EventType t) noexcept {
 namespace {
 
 /// Controller payload for controller-scoped event types.
-std::string controller_payload(const LogRecord& r) {
+std::string controller_payload(const LogRecord& r, const logmodel::SymbolTable& symbols) {
+  const std::string detail{symbols.view(r.detail)};
   char value_buf[48];
   switch (r.type) {
     case EventType::SedcTemperatureWarning:
@@ -106,7 +109,7 @@ std::string controller_payload(const LogRecord& r) {
       return std::string("ec_environment: fan speed deviation reading ") + value_buf;
     case EventType::SedcReading:
       std::snprintf(value_buf, sizeof value_buf, "%.3f", r.value);
-      return "sedc: " + r.detail + " value=" + value_buf;
+      return "sedc: " + detail + " value=" + value_buf;
     case EventType::CabinetPowerFault:
       return "cabinet power fault detected";
     case EventType::CabinetMicroFault:
@@ -126,9 +129,9 @@ std::string controller_payload(const LogRecord& r) {
     case EventType::BladeHeartbeatFault:
       return "bc heartbeat fault";
     case EventType::L0SysdMce:
-      return "L0_sysd_mce: " + r.detail;
+      return "L0_sysd_mce: " + detail;
     default:
-      return r.detail;
+      return detail;
   }
 }
 
@@ -143,7 +146,7 @@ std::string LogRenderer::console_line(const LogRecord& r) const {
     line += topo_.cname_of(r.node).to_string();
   }
   line += r.source == LogSource::Consumer ? " hwerrd: " : " kernel: ";
-  line += internal_payload(r);
+  line += internal_payload(r, symbols_);
   if (r.has_job()) {
     line += " jobid=";
     line += std::to_string(r.job_id);
@@ -156,7 +159,7 @@ std::string LogRenderer::messages_line(const LogRecord& r) const {
   line += ' ';
   line += topo_.node_name(r.node);
   line += " nhc[2114]: ";
-  line += r.detail;
+  line += symbols_.view(r.detail);
   if (r.has_job()) {
     line += " jobid=";
     line += std::to_string(r.job_id);
@@ -177,7 +180,7 @@ std::string LogRenderer::controller_line(const LogRecord& r) const {
     line += "c?-?";
   }
   line += " cc: ";
-  line += controller_payload(r);
+  line += controller_payload(r, symbols_);
   return line;
 }
 
@@ -200,7 +203,7 @@ std::string LogRenderer::erd_line(const LogRecord& r) const {
     line += topo_.node_name(r.node);
   }
   line += ' ';
-  line += r.detail;
+  line += symbols_.view(r.detail);
   return line;
 }
 
@@ -209,17 +212,18 @@ std::string LogRenderer::scheduler_line(const LogRecord& r) const {
   // render_job_lines which also carries the node list.
   std::string line = util::format_iso(r.time);
   line += scheduler_ == platform::SchedulerKind::Slurm ? " slurmctld: " : " pbs_server: ";
+  const std::string detail{symbols_.view(r.detail)};
   switch (r.type) {
     case EventType::JobStart:
-      line += "sched: Allocate JobId=" + std::to_string(r.job_id) + " App=" + r.detail;
+      line += "sched: Allocate JobId=" + std::to_string(r.job_id) + " App=" + detail;
       break;
     case EventType::JobEnd:
       line += "JobId=" + std::to_string(r.job_id) +
               " Ended ExitCode=" + std::to_string(static_cast<int>(r.value)) +
-              ":0 Reason=" + r.detail;
+              ":0 Reason=" + detail;
       break;
     case EventType::JobCancelled:
-      line += "scancel JobId=" + std::to_string(r.job_id) + " " + r.detail;
+      line += "scancel JobId=" + std::to_string(r.job_id) + " " + detail;
       break;
     case EventType::JobOverallocation:
       line += "error: JobId=" + std::to_string(r.job_id) +
@@ -232,7 +236,7 @@ std::string LogRenderer::scheduler_line(const LogRecord& r) const {
       line += "NHC: suspect JobId=" + std::to_string(r.job_id);
       break;
     default:
-      line += r.detail;
+      line += detail;
       break;
   }
   return line;

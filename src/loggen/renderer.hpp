@@ -19,6 +19,7 @@
 
 #include "jobs/job.hpp"
 #include "logmodel/record.hpp"
+#include "logmodel/symbol_table.hpp"
 #include "platform/system_config.hpp"
 #include "platform/topology.hpp"
 
@@ -26,7 +27,10 @@ namespace hpcfail::loggen {
 
 class LogRenderer {
  public:
-  LogRenderer(const platform::Topology& topo, platform::SchedulerKind scheduler);
+  /// `symbols` resolves every record's detail Symbol and must outlive the
+  /// renderer (it is the table the records were emitted through).
+  LogRenderer(const platform::Topology& topo, platform::SchedulerKind scheduler,
+              const logmodel::SymbolTable& symbols);
 
   /// Renders one record as a single line (no trailing newline). Scheduler-
   /// source records are rendered via the job grammar without a node list;
@@ -56,11 +60,13 @@ class LogRenderer {
 
   const platform::Topology& topo_;
   platform::SchedulerKind scheduler_;
+  const logmodel::SymbolTable& symbols_;
 };
 
 /// Kernel payload for an internal event type (shared with the consumer
-/// grammar). Exposed for tests.
-[[nodiscard]] std::string internal_payload(const logmodel::LogRecord& r);
+/// grammar). Exposed for tests.  `symbols` resolves r.detail.
+[[nodiscard]] std::string internal_payload(const logmodel::LogRecord& r,
+                                           const logmodel::SymbolTable& symbols);
 
 /// ERD event name for an external event type (e.g. "ec_node_failed").
 [[nodiscard]] std::string_view erd_event_name(logmodel::EventType t) noexcept;

@@ -10,15 +10,17 @@ namespace {
 bool time_less(const LogRecord& a, const LogRecord& b) noexcept { return a.time < b.time; }
 }  // namespace
 
-LogStore::LogStore(std::vector<LogRecord> records) : records_(std::move(records)) {
+LogStore::LogStore(std::vector<LogRecord> records, SymbolTable symbols)
+    : records_(std::move(records)), symbols_(std::move(symbols)) {
   finalized_ = false;
   finalize();
 }
 
-LogStore LogStore::from_sorted(std::vector<LogRecord> records) {
+LogStore LogStore::from_sorted(std::vector<LogRecord> records, SymbolTable symbols) {
   assert(std::is_sorted(records.begin(), records.end(), time_less));
   LogStore store;
   store.records_ = std::move(records);
+  store.symbols_ = std::move(symbols);
   store.build_indexes();
   store.finalized_ = true;
   return store;
@@ -26,7 +28,7 @@ LogStore LogStore::from_sorted(std::vector<LogRecord> records) {
 
 void LogStore::add(LogRecord r) {
   finalized_ = false;
-  records_.push_back(std::move(r));
+  records_.push_back(r);
 }
 
 void LogStore::finalize() {
@@ -37,16 +39,68 @@ void LogStore::finalize() {
 }
 
 void LogStore::build_indexes() {
-  by_node_.clear();
-  by_blade_.clear();
-  by_cabinet_.clear();
+  const std::size_t n = records_.size();
+
+  times_.resize(n);
+  types_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    times_[i] = records_[i].time.usec;
+    types_[i] = records_[i].type;
+  }
+
+  // CSR build in three dense passes: (1) key ranges + type counts,
+  // (2) per-key counts into offsets[key + 1], (3) prefix-sum, then fill
+  // entries walking records in order so every per-key run stays
+  // time-ordered.  Exact-sized flat arrays, no per-key heap blocks.
+  by_node_ = CsrIndex{};
+  by_blade_ = CsrIndex{};
+  by_cabinet_ = CsrIndex{};
+  std::vector<std::uint32_t> type_counts(kEventTypeCount, 0);
+  std::uint32_t node_keys = 0;
+  std::uint32_t blade_keys = 0;
+  std::uint32_t cabinet_keys = 0;
+  for (const LogRecord& r : records_) {
+    if (r.has_node()) node_keys = std::max(node_keys, r.node.value + 1);
+    if (r.has_blade()) blade_keys = std::max(blade_keys, r.blade.value + 1);
+    if (r.has_cabinet()) cabinet_keys = std::max(cabinet_keys, r.cabinet.value + 1);
+    ++type_counts[static_cast<std::size_t>(r.type)];
+  }
+  if (node_keys != 0) by_node_.offsets.assign(std::size_t{node_keys} + 1, 0);
+  if (blade_keys != 0) by_blade_.offsets.assign(std::size_t{blade_keys} + 1, 0);
+  if (cabinet_keys != 0) by_cabinet_.offsets.assign(std::size_t{cabinet_keys} + 1, 0);
+
+  // An empty offsets array implies no record carries that key, so the
+  // guarded subscripts below are never reached for it.
+  for (const LogRecord& r : records_) {
+    if (r.has_node()) ++by_node_.offsets[r.node.value + 1];
+    if (r.has_blade()) ++by_blade_.offsets[r.blade.value + 1];
+    if (r.has_cabinet()) ++by_cabinet_.offsets[r.cabinet.value + 1];
+  }
+  const auto prefix_sum = [](CsrIndex& idx) {
+    for (std::size_t k = 1; k < idx.offsets.size(); ++k) idx.offsets[k] += idx.offsets[k - 1];
+    idx.entries.resize(idx.offsets.empty() ? 0 : idx.offsets.back());
+  };
+  prefix_sum(by_node_);
+  prefix_sum(by_blade_);
+  prefix_sum(by_cabinet_);
+
+  std::vector<std::uint32_t> node_cur = by_node_.offsets;
+  std::vector<std::uint32_t> blade_cur = by_blade_.offsets;
+  std::vector<std::uint32_t> cabinet_cur = by_cabinet_.offsets;
   by_type_.assign(kEventTypeCount, {});
-  for (std::uint32_t i = 0; i < records_.size(); ++i) {
+  for (std::size_t t = 0; t < kEventTypeCount; ++t) by_type_[t].reserve(type_counts[t]);
+  for (std::uint32_t i = 0; i < n; ++i) {
     const LogRecord& r = records_[i];
-    if (r.has_node()) by_node_[r.node.value].push_back(i);
-    if (r.has_blade()) by_blade_[r.blade.value].push_back(i);
-    if (r.has_cabinet()) by_cabinet_[r.cabinet.value].push_back(i);
+    if (r.has_node()) by_node_.entries[node_cur[r.node.value]++] = i;
+    if (r.has_blade()) by_blade_.entries[blade_cur[r.blade.value]++] = i;
+    if (r.has_cabinet()) by_cabinet_.entries[cabinet_cur[r.cabinet.value]++] = i;
     by_type_[static_cast<std::size_t>(r.type)].push_back(i);
+  }
+
+  // Distinct node ids fall out of the offsets in ascending order for free.
+  nodes_.clear();
+  for (std::uint32_t k = 0; k < node_keys; ++k) {
+    if (by_node_.offsets[k + 1] > by_node_.offsets[k]) nodes_.push_back(platform::NodeId{k});
   }
 }
 
@@ -71,57 +125,52 @@ util::TimePoint LogStore::last_time() const {
 std::span<const LogRecord> LogStore::range(util::TimePoint begin,
                                            util::TimePoint end) const {
   require_finalized();
-  LogRecord probe;
-  probe.time = begin;
-  const auto lo = std::lower_bound(records_.begin(), records_.end(), probe, time_less);
-  probe.time = end;
-  const auto hi = std::lower_bound(lo, records_.end(), probe, time_less);
-  return {records_.data() + (lo - records_.begin()),
+  // Binary search the dense time column, not the ~48-byte record rows.
+  const auto lo = std::lower_bound(times_.begin(), times_.end(), begin.usec);
+  const auto hi = std::lower_bound(lo, times_.end(), end.usec);
+  return {records_.data() + (lo - times_.begin()),
           static_cast<std::size_t>(hi - lo)};
 }
 
-std::vector<std::uint32_t> LogStore::filter_window(const std::vector<std::uint32_t>& index,
-                                                   util::TimePoint begin,
-                                                   util::TimePoint end) const {
-  // The index is time-ordered because records_ is; binary search on it.
-  const auto lo = std::lower_bound(index.begin(), index.end(), begin,
-                                   [this](std::uint32_t i, util::TimePoint t) {
-                                     return records_[i].time < t;
+std::span<const std::uint32_t> LogStore::filter_window(std::span<const std::uint32_t> index,
+                                                       util::TimePoint begin,
+                                                       util::TimePoint end) const {
+  // The index is time-ordered because records_ is; binary search on it,
+  // comparing through the contiguous time column.
+  const auto lo = std::lower_bound(index.begin(), index.end(), begin.usec,
+                                   [this](std::uint32_t i, std::int64_t t) {
+                                     return times_[i] < t;
                                    });
-  const auto hi = std::lower_bound(lo, index.end(), end,
-                                   [this](std::uint32_t i, util::TimePoint t) {
-                                     return records_[i].time < t;
+  const auto hi = std::lower_bound(lo, index.end(), end.usec,
+                                   [this](std::uint32_t i, std::int64_t t) {
+                                     return times_[i] < t;
                                    });
-  return {lo, hi};
+  return {index.data() + (lo - index.begin()), static_cast<std::size_t>(hi - lo)};
 }
 
-std::vector<std::uint32_t> LogStore::node_range(platform::NodeId node, util::TimePoint begin,
-                                                util::TimePoint end) const {
+std::span<const std::uint32_t> LogStore::node_range(platform::NodeId node,
+                                                    util::TimePoint begin,
+                                                    util::TimePoint end) const {
   require_finalized();
-  const auto it = by_node_.find(node.value);
-  if (it == by_node_.end()) return {};
-  return filter_window(it->second, begin, end);
+  return filter_window(by_node_.of(node.value), begin, end);
 }
 
-std::vector<std::uint32_t> LogStore::blade_range(platform::BladeId blade, util::TimePoint begin,
-                                                 util::TimePoint end) const {
+std::span<const std::uint32_t> LogStore::blade_range(platform::BladeId blade,
+                                                     util::TimePoint begin,
+                                                     util::TimePoint end) const {
   require_finalized();
-  const auto it = by_blade_.find(blade.value);
-  if (it == by_blade_.end()) return {};
-  return filter_window(it->second, begin, end);
+  return filter_window(by_blade_.of(blade.value), begin, end);
 }
 
-std::vector<std::uint32_t> LogStore::cabinet_range(platform::CabinetId cabinet,
-                                                   util::TimePoint begin,
-                                                   util::TimePoint end) const {
+std::span<const std::uint32_t> LogStore::cabinet_range(platform::CabinetId cabinet,
+                                                       util::TimePoint begin,
+                                                       util::TimePoint end) const {
   require_finalized();
-  const auto it = by_cabinet_.find(cabinet.value);
-  if (it == by_cabinet_.end()) return {};
-  return filter_window(it->second, begin, end);
+  return filter_window(by_cabinet_.of(cabinet.value), begin, end);
 }
 
-std::vector<std::uint32_t> LogStore::type_range(EventType type, util::TimePoint begin,
-                                                util::TimePoint end) const {
+std::span<const std::uint32_t> LogStore::type_range(EventType type, util::TimePoint begin,
+                                                    util::TimePoint end) const {
   require_finalized();
   // A default-constructed (empty) store never ran build_indexes(); without
   // this guard the subscript below is UB, unlike count_of_type/type_index
@@ -137,9 +186,7 @@ std::size_t LogStore::count_of_type(EventType type) const {
 
 std::span<const std::uint32_t> LogStore::node_index(platform::NodeId node) const {
   require_finalized();
-  const auto it = by_node_.find(node.value);
-  if (it == by_node_.end()) return {};
-  return it->second;
+  return by_node_.of(node.value);
 }
 
 std::span<const std::uint32_t> LogStore::type_index(EventType type) const {
@@ -148,13 +195,9 @@ std::span<const std::uint32_t> LogStore::type_index(EventType type) const {
   return by_type_[static_cast<std::size_t>(type)];
 }
 
-std::vector<platform::NodeId> LogStore::nodes() const {
+const std::vector<platform::NodeId>& LogStore::nodes() const {
   require_finalized();
-  std::vector<platform::NodeId> out;
-  out.reserve(by_node_.size());
-  for (const auto& [id, _] : by_node_) out.push_back(platform::NodeId{id});
-  std::sort(out.begin(), out.end());
-  return out;
+  return nodes_;
 }
 
 }  // namespace hpcfail::logmodel

@@ -1,15 +1,21 @@
 // Time-sorted in-memory store of structured log records with secondary
-// indexes by node, blade and event type.  Range queries are binary-searched;
-// the per-key indexes keep the correlation passes (which repeatedly ask
-// "events of type T for node N in window W") sub-linear.
+// indexes by node, blade and event type.  Range queries are binary-searched
+// over a structure-of-arrays time column (so the search never drags full
+// records through cache); the per-key indexes keep the correlation passes
+// (which repeatedly ask "events of type T for node N in window W")
+// sub-linear.  The store owns the SymbolTable that resolves every record's
+// interned detail Symbol; string_views returned by detail() stay valid for
+// the store's lifetime.
 #pragma once
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "logmodel/record.hpp"
+#include "logmodel/symbol_table.hpp"
+#include "util/csr.hpp"
 
 namespace hpcfail::logmodel {
 
@@ -17,13 +23,15 @@ class LogStore {
  public:
   LogStore() = default;
 
-  /// Takes ownership of the records, sorts by time and builds indexes.
-  explicit LogStore(std::vector<LogRecord> records);
+  /// Takes ownership of the records (and the table their detail Symbols
+  /// point into), sorts by time and builds indexes.
+  explicit LogStore(std::vector<LogRecord> records, SymbolTable symbols = {});
 
   /// Builds a store from records already stably sorted by time (e.g. the
   /// k-way merge of StoreBuilder), skipping the O(n log n) global sort.
   /// Precondition (asserted in debug builds): records are time-ordered.
-  [[nodiscard]] static LogStore from_sorted(std::vector<LogRecord> records);
+  [[nodiscard]] static LogStore from_sorted(std::vector<LogRecord> records,
+                                            SymbolTable symbols = {});
 
   void add(LogRecord r);
 
@@ -36,6 +44,42 @@ class LogStore {
   [[nodiscard]] const LogRecord& operator[](std::size_t i) const noexcept { return records_[i]; }
   [[nodiscard]] const std::vector<LogRecord>& records() const noexcept { return records_; }
 
+  /// The table resolving every record's detail Symbol.
+  [[nodiscard]] const SymbolTable& symbols() const noexcept { return symbols_; }
+
+  /// Columnar views over the sorted records: times()[i] is
+  /// records()[i].time.usec, types()[i] is records()[i].type.  Dense
+  /// arrays for scans that only need one field.
+  [[nodiscard]] std::span<const std::int64_t> times() const noexcept { return times_; }
+  [[nodiscard]] std::span<const EventType> types() const noexcept { return types_; }
+
+  /// Interns text into this store's table (for records about to be add()ed).
+  Symbol intern(std::string_view text) { return symbols_.intern(text); }
+
+  /// Resolves a record's detail Symbol; the view is valid while the store
+  /// lives.  The record must belong to this store.
+  [[nodiscard]] std::string_view detail(const LogRecord& r) const noexcept {
+    return symbols_.view(r.detail);
+  }
+  [[nodiscard]] std::string_view detail(std::size_t i) const noexcept {
+    return symbols_.view(records_[i].detail);
+  }
+
+  /// Cheap row accessor bundling a record with its resolved detail — the
+  /// `records()[i]`-plus-text view for consumers that want both.
+  class Row {
+   public:
+    Row(const LogStore& store, std::size_t index) noexcept : store_(&store), index_(index) {}
+    [[nodiscard]] const LogRecord& record() const noexcept { return store_->records_[index_]; }
+    [[nodiscard]] std::string_view detail() const noexcept { return store_->detail(index_); }
+    [[nodiscard]] std::size_t index() const noexcept { return index_; }
+
+   private:
+    const LogStore* store_;
+    std::size_t index_;
+  };
+  [[nodiscard]] Row row(std::size_t i) const noexcept { return Row(*this, i); }
+
   [[nodiscard]] util::TimePoint first_time() const;
   [[nodiscard]] util::TimePoint last_time() const;
 
@@ -44,24 +88,26 @@ class LogStore {
                                                  util::TimePoint end) const;
 
   /// Indexes (into records()) of this node's records within [begin, end).
-  [[nodiscard]] std::vector<std::uint32_t> node_range(platform::NodeId node,
-                                                      util::TimePoint begin,
-                                                      util::TimePoint end) const;
+  /// The span aliases the store's index and is valid while the store lives
+  /// and is not re-finalized.
+  [[nodiscard]] std::span<const std::uint32_t> node_range(platform::NodeId node,
+                                                          util::TimePoint begin,
+                                                          util::TimePoint end) const;
 
   /// Indexes of this blade's records (records carrying that blade id,
   /// including node-scoped records resolved to the blade) within [begin, end).
-  [[nodiscard]] std::vector<std::uint32_t> blade_range(platform::BladeId blade,
-                                                       util::TimePoint begin,
-                                                       util::TimePoint end) const;
+  [[nodiscard]] std::span<const std::uint32_t> blade_range(platform::BladeId blade,
+                                                           util::TimePoint begin,
+                                                           util::TimePoint end) const;
 
   /// Indexes of this cabinet's records within [begin, end).
-  [[nodiscard]] std::vector<std::uint32_t> cabinet_range(platform::CabinetId cabinet,
-                                                         util::TimePoint begin,
-                                                         util::TimePoint end) const;
+  [[nodiscard]] std::span<const std::uint32_t> cabinet_range(platform::CabinetId cabinet,
+                                                             util::TimePoint begin,
+                                                             util::TimePoint end) const;
 
   /// Indexes of records of `type` within [begin, end).
-  [[nodiscard]] std::vector<std::uint32_t> type_range(EventType type, util::TimePoint begin,
-                                                      util::TimePoint end) const;
+  [[nodiscard]] std::span<const std::uint32_t> type_range(EventType type, util::TimePoint begin,
+                                                          util::TimePoint end) const;
 
   /// Total count of records of `type`.
   [[nodiscard]] std::size_t count_of_type(EventType type) const;
@@ -72,8 +118,8 @@ class LogStore {
   /// All record indexes for an event type (time-ordered).
   [[nodiscard]] std::span<const std::uint32_t> type_index(EventType type) const;
 
-  /// Distinct node ids appearing in the store.
-  [[nodiscard]] std::vector<platform::NodeId> nodes() const;
+  /// Distinct node ids appearing in the store, sorted (cached at finalize).
+  [[nodiscard]] const std::vector<platform::NodeId>& nodes() const;
 
  private:
   /// Every query funnels through this: querying between add() and
@@ -84,15 +130,26 @@ class LogStore {
 
   void build_indexes();
 
-  [[nodiscard]] std::vector<std::uint32_t> filter_window(
-      const std::vector<std::uint32_t>& index, util::TimePoint begin,
+  /// CSR indexes (util::CsrIndex): entries are record indexes, grouped by
+  /// id and time-ordered within each run because the fill pass walks the
+  /// sorted records.
+  using CsrIndex = util::CsrIndex<std::uint32_t>;
+
+  [[nodiscard]] std::span<const std::uint32_t> filter_window(
+      std::span<const std::uint32_t> index, util::TimePoint begin,
       util::TimePoint end) const;
 
   std::vector<LogRecord> records_;
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_node_;
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_blade_;
-  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> by_cabinet_;
+  SymbolTable symbols_;
+  // Query-hot columns, split out of records_ so binary searches touch a
+  // dense array of the compared field only (structure-of-arrays).
+  std::vector<std::int64_t> times_;  ///< records_[i].time.usec
+  std::vector<EventType> types_;    ///< records_[i].type
+  CsrIndex by_node_;
+  CsrIndex by_blade_;
+  CsrIndex by_cabinet_;
   std::vector<std::vector<std::uint32_t>> by_type_;
+  std::vector<platform::NodeId> nodes_;  ///< sorted distinct node ids
   bool finalized_ = true;
 };
 

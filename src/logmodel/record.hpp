@@ -2,13 +2,15 @@
 // consumes.  A record is a flat, value-type row: timestamp, source, event
 // type, severity, location (node/blade/cabinet, any may be absent), an
 // optional job id, an optional numeric value (sensor reading, exit code)
-// and a short detail string (stack module, reason, sensor name).
+// and an interned detail Symbol (stack module, reason, sensor name) that
+// resolves to text through the SymbolTable owned by the record's store.
 #pragma once
 
 #include <cstdint>
-#include <string>
+#include <type_traits>
 
 #include "logmodel/event_type.hpp"
+#include "logmodel/symbol_table.hpp"
 #include "platform/ids.hpp"
 #include "util/time.hpp"
 
@@ -26,12 +28,18 @@ struct LogRecord {
   platform::CabinetId cabinet;  ///< invalid when unknown
   std::int64_t job_id = kNoJob;
   double value = 0.0;           ///< sensor reading / exit code / count
-  std::string detail;           ///< module name, reason, sensor label, ...
+  Symbol detail;                ///< module name, reason, sensor label, ...
 
   [[nodiscard]] bool has_node() const noexcept { return node.valid(); }
   [[nodiscard]] bool has_blade() const noexcept { return blade.valid(); }
   [[nodiscard]] bool has_cabinet() const noexcept { return cabinet.valid(); }
   [[nodiscard]] bool has_job() const noexcept { return job_id != kNoJob; }
 };
+
+// The ingest hot path depends on records being flat memcpy-able rows that
+// fit a cache line; a reintroduced heap member or padding blowup should
+// fail the build, not a benchmark three PRs later.
+static_assert(std::is_trivially_copyable_v<LogRecord>);
+static_assert(sizeof(LogRecord) <= 64);
 
 }  // namespace hpcfail::logmodel

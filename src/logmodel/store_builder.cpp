@@ -43,9 +43,19 @@ void StoreBuilder::seal_current() {
 }
 
 void StoreBuilder::append(LogRecord r) {
-  current_.push_back(std::move(r));
+  current_.push_back(r);
   ++count_;
   if (current_.size() >= shard_records_) seal_current();
+}
+
+void StoreBuilder::append_batch(std::vector<LogRecord> batch,
+                                const SymbolTable& batch_symbols) {
+  if (batch.empty()) return;
+  // Rewrite chunk-local Symbols into the builder's table.  absorb() is a
+  // hash probe per *distinct* string, the remap a table lookup per record.
+  const std::vector<Symbol> remap = symbols_.absorb(batch_symbols);
+  for (LogRecord& r : batch) r.detail = remap[r.detail.id];
+  append_batch(std::move(batch));
 }
 
 void StoreBuilder::append_batch(std::vector<LogRecord> batch) {
@@ -66,12 +76,14 @@ LogStore StoreBuilder::build(util::ThreadPool* pool) {
   std::vector<std::vector<LogRecord>> shards = std::move(shards_);
   shards_ = {};
   count_ = 0;
+  SymbolTable symbols = std::move(symbols_);
+  symbols_ = SymbolTable{};
 
-  if (shards.empty()) return LogStore::from_sorted({});
+  if (shards.empty()) return LogStore::from_sorted({}, std::move(symbols));
   if (shards.size() == 1) {
     util::TraceSpan span("hpcfail.store.sort_shards");
     std::stable_sort(shards[0].begin(), shards[0].end(), time_less);
-    return LogStore::from_sorted(std::move(shards[0]));
+    return LogStore::from_sorted(std::move(shards[0]), std::move(symbols));
   }
 
   {
@@ -110,14 +122,14 @@ LogStore StoreBuilder::build(util::ThreadPool* pool) {
   while (!heap.empty()) {
     const std::size_t s = heap.top().shard;
     heap.pop();
-    merged.push_back(std::move(shards[s][cursor[s]]));
+    merged.push_back(shards[s][cursor[s]]);
     if (++cursor[s] < shards[s].size()) {
       heap.push(Head{shards[s][cursor[s]].time.usec, s});
     } else {
       shards[s] = {};  // release the drained shard's memory early
     }
   }
-  return LogStore::from_sorted(std::move(merged));
+  return LogStore::from_sorted(std::move(merged), std::move(symbols));
 }
 
 }  // namespace hpcfail::logmodel

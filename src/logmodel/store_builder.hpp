@@ -11,6 +11,12 @@
 // parse order).  Each shard then covers a contiguous run of that sequence,
 // so merging with ties broken by shard index reproduces the global
 // stable_sort byte for byte — the ingestion equivalence suite pins this.
+//
+// Detail strings: parse workers intern into chunk-local SymbolTables;
+// append_batch absorbs each chunk table into the builder's table (chunks
+// retire in FIFO order, so this is serialized) and rewrites the batch's
+// Symbols through the returned remap.  build() moves the merged table into
+// the LogStore, which owns it for the records' lifetime.
 #pragma once
 
 #include <cstddef>
@@ -29,9 +35,21 @@ class StoreBuilder {
 
   static constexpr std::size_t kDefaultShardRecords = 1 << 16;
 
+  /// Appends a record whose detail Symbol was interned via symbols().
   void append(LogRecord r);
   /// Moves a whole parsed chunk in (cheaper than record-at-a-time).
+  /// `batch_symbols` is the chunk-local table the batch's detail Symbols
+  /// point into; they are remapped into the builder's table here.  Chunks
+  /// retire in FIFO order, so for a fixed chunk size the merged ids are
+  /// deterministic regardless of worker-thread count.
+  void append_batch(std::vector<LogRecord> batch, const SymbolTable& batch_symbols);
+  /// Batch variant for records whose detail Symbols are already valid in
+  /// this builder's table (default-constructed, or interned via symbols()).
   void append_batch(std::vector<LogRecord> batch);
+
+  /// The builder's own table, for sequential producers that intern
+  /// directly (e.g. the stateful scheduler parser) before append().
+  [[nodiscard]] SymbolTable& symbols() noexcept { return symbols_; }
 
   [[nodiscard]] std::size_t record_count() const noexcept { return count_; }
   /// Shards sealed so far (the open shard is not counted).
@@ -46,6 +64,7 @@ class StoreBuilder {
 
   std::vector<std::vector<LogRecord>> shards_;  ///< sealed, unsorted until build()
   std::vector<LogRecord> current_;              ///< open shard
+  SymbolTable symbols_;                         ///< moved into the store at build()
   std::size_t shard_records_;
   std::size_t count_ = 0;
 };

@@ -1,0 +1,51 @@
+#include "logmodel/symbol_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hpcfail::logmodel {
+
+SymbolTable::SymbolTable() { intern({}); }
+
+SymbolTable::SymbolTable(const SymbolTable& other) : SymbolTable() {
+  for (std::size_t i = 1; i < other.views_.size(); ++i) intern(other.views_[i]);
+}
+
+SymbolTable& SymbolTable::operator=(const SymbolTable& other) {
+  if (this != &other) {
+    SymbolTable copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+const char* SymbolTable::arena_store(std::string_view text) {
+  if (blocks_.empty() || block_used_ + text.size() > kBlockBytes) {
+    blocks_.push_back(std::make_unique<char[]>(std::max(text.size(), kBlockBytes)));
+    block_used_ = 0;
+  }
+  char* dst = blocks_.back().get() + block_used_;
+  std::memcpy(dst, text.data(), text.size());
+  block_used_ += text.size();
+  return dst;
+}
+
+Symbol SymbolTable::intern(std::string_view text) {
+  if (const auto it = ids_.find(text); it != ids_.end()) return Symbol{it->second};
+  std::string_view stable = text.empty()
+                                ? std::string_view{}
+                                : std::string_view(arena_store(text), text.size());
+  const auto id = static_cast<std::uint32_t>(views_.size());
+  views_.push_back(stable);
+  ids_.emplace(stable, id);
+  payload_bytes_ += text.size();
+  return Symbol{id};
+}
+
+std::vector<Symbol> SymbolTable::absorb(const SymbolTable& src) {
+  std::vector<Symbol> remap(src.views_.size());
+  for (std::size_t i = 0; i < src.views_.size(); ++i) remap[i] = intern(src.views_[i]);
+  return remap;
+}
+
+}  // namespace hpcfail::logmodel

@@ -1,0 +1,78 @@
+// String interning for low-cardinality record payloads (module names,
+// sensor labels, reason texts).  A SymbolTable maps each distinct string to
+// a dense uint32 Symbol and stores exactly one copy of the bytes in an
+// arena whose storage never moves, so resolved string_views stay valid for
+// the table's lifetime.  Records carry the 4-byte Symbol instead of a
+// heap-allocated std::string, which makes LogRecord trivially copyable and
+// removes the per-record allocation from the ingest hot path.
+//
+// Lifetime rules: a string_view returned by view() is valid while the table
+// (or a table it was moved into) lives.  LogStore owns the table for all
+// records it holds; resolve details through the store, not through a
+// builder-side table that may have been consumed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hpcfail::logmodel {
+
+/// Dense handle for an interned string.  Value-initialized Symbol{} is the
+/// empty string in every table (id 0 is reserved for "" at construction).
+struct Symbol {
+  std::uint32_t id = 0;
+
+  friend bool operator==(Symbol, Symbol) = default;
+};
+
+class SymbolTable {
+ public:
+  /// Interns "" as id 0 so default-constructed Symbols resolve cleanly.
+  SymbolTable();
+
+  /// Deep copy: re-interns every string in id order, so ids are preserved
+  /// but the copy owns its own arena.
+  SymbolTable(const SymbolTable& other);
+  SymbolTable& operator=(const SymbolTable& other);
+
+  // Moves keep arena blocks (and the views into them) stable.
+  SymbolTable(SymbolTable&&) noexcept = default;
+  SymbolTable& operator=(SymbolTable&&) noexcept = default;
+
+  /// Returns the Symbol for `text`, interning a copy on first sight.
+  Symbol intern(std::string_view text);
+
+  /// Resolves a Symbol; out-of-range ids resolve to "" rather than UB so a
+  /// Symbol from a foreign table cannot read out of bounds.
+  [[nodiscard]] std::string_view view(Symbol symbol) const noexcept {
+    return symbol.id < views_.size() ? views_[symbol.id] : std::string_view{};
+  }
+
+  /// Number of distinct strings, including the reserved "".
+  [[nodiscard]] std::size_t size() const noexcept { return views_.size(); }
+
+  /// Total interned payload bytes (excludes map/arena overhead).
+  [[nodiscard]] std::size_t bytes() const noexcept { return payload_bytes_; }
+
+  /// Interns every string of `src` into this table and returns the id
+  /// remap: remap[old.id] is the Symbol in this table.  Used when merging
+  /// per-chunk tables into the builder's table.
+  std::vector<Symbol> absorb(const SymbolTable& src);
+
+ private:
+  const char* arena_store(std::string_view text);
+
+  static constexpr std::size_t kBlockBytes = 64 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::size_t block_used_ = 0;   ///< bytes used in blocks_.back()
+  std::size_t payload_bytes_ = 0;
+  std::vector<std::string_view> views_;  ///< id -> stable view
+  std::unordered_map<std::string_view, std::uint32_t> ids_;
+};
+
+}  // namespace hpcfail::logmodel

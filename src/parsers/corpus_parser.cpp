@@ -20,7 +20,10 @@ ParsedCorpus parse_corpus(const loggen::Corpus& corpus, util::ThreadPool* pool) 
   util::ThreadPool& workers = pool != nullptr ? *pool : util::default_pool();
 
   const auto begin_civil = util::civil_time(corpus.begin);
-  const ParseContext ctx{&out.topology, begin_civil.year, begin_civil.month};
+  ParseContext ctx;
+  ctx.topo = &out.topology;
+  ctx.base_year = begin_civil.year;
+  ctx.base_month = begin_civil.month;
 
   struct SourceJob {
     LogSource source;
@@ -35,6 +38,7 @@ ParsedCorpus parse_corpus(const loggen::Corpus& corpus, util::ThreadPool* pool) 
   };
 
   std::vector<LogRecord> records;
+  logmodel::SymbolTable symbols;
   std::atomic<std::size_t> skipped{0};
 
   for (const auto& job : source_jobs) {
@@ -43,22 +47,27 @@ ParsedCorpus parse_corpus(const loggen::Corpus& corpus, util::ThreadPool* pool) 
     const auto lines = split_lines(text);
     out.total_lines += lines.size();
 
-    // Shard the line range; each shard fills its own vector, merged in
-    // order afterwards (the store re-sorts by time anyway).
+    // Shard the line range; each shard fills its own vector (with its own
+    // symbol table — workers never share one), merged in order afterwards
+    // (the store re-sorts by time anyway; Symbols are remapped into the
+    // final table as each shard is absorbed in deterministic shard order).
     const std::size_t shards = std::max<std::size_t>(1, workers.size() * 2);
     const std::size_t chunk = std::max<std::size_t>(1, (lines.size() + shards - 1) / shards);
     std::vector<std::vector<LogRecord>> shard_records((lines.size() + chunk - 1) / chunk);
+    std::vector<logmodel::SymbolTable> shard_symbols(shard_records.size());
     workers.parallel_for_ranges(
         shard_records.size(), [&](std::size_t begin_shard, std::size_t end_shard) {
           for (std::size_t s = begin_shard; s < end_shard; ++s) {
             const std::size_t lo = s * chunk;
             const std::size_t hi = std::min(lines.size(), lo + chunk);
             std::size_t local_skipped = 0;
+            ParseContext local = ctx;
+            local.symbols = &shard_symbols[s];
             auto& sink = shard_records[s];
             sink.reserve(hi - lo);
             for (std::size_t i = lo; i < hi; ++i) {
-              if (auto record = job.parse(lines[i], ctx)) {
-                sink.push_back(std::move(*record));
+              if (auto record = job.parse(lines[i], local)) {
+                sink.push_back(*record);
               } else {
                 ++local_skipped;
               }
@@ -66,9 +75,10 @@ ParsedCorpus parse_corpus(const loggen::Corpus& corpus, util::ThreadPool* pool) 
             skipped.fetch_add(local_skipped, std::memory_order_relaxed);
           }
         });
-    for (auto& shard : shard_records) {
-      records.insert(records.end(), std::make_move_iterator(shard.begin()),
-                     std::make_move_iterator(shard.end()));
+    for (std::size_t s = 0; s < shard_records.size(); ++s) {
+      const std::vector<logmodel::Symbol> remap = symbols.absorb(shard_symbols[s]);
+      for (LogRecord& r : shard_records[s]) r.detail = remap[r.detail.id];
+      records.insert(records.end(), shard_records[s].begin(), shard_records[s].end());
     }
   }
 
@@ -77,10 +87,12 @@ ParsedCorpus parse_corpus(const loggen::Corpus& corpus, util::ThreadPool* pool) 
     const std::string& text = corpus.of(LogSource::Scheduler);
     const auto lines = split_lines(text);
     out.total_lines += lines.size();
-    SchedulerLogParser sched(ctx, out.jobs);
+    ParseContext sched_ctx = ctx;
+    sched_ctx.symbols = &symbols;
+    SchedulerLogParser sched(sched_ctx, out.jobs);
     for (const auto line : lines) {
       if (auto record = sched.parse_line(line)) {
-        records.push_back(std::move(*record));
+        records.push_back(*record);
       } else {
         skipped.fetch_add(1, std::memory_order_relaxed);
       }
@@ -90,7 +102,7 @@ ParsedCorpus parse_corpus(const loggen::Corpus& corpus, util::ThreadPool* pool) 
 
   out.skipped_lines = skipped.load();
   out.parsed_records = records.size();
-  out.store = logmodel::LogStore{std::move(records)};
+  out.store = logmodel::LogStore{std::move(records), std::move(symbols)};
   return out;
 }
 

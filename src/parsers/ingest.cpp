@@ -41,9 +41,12 @@ LineParseFn line_parser_for(LogSource source) noexcept {
 
 namespace {
 
-/// Result of parsing one chunk's lines on a pool worker.
+/// Result of parsing one chunk's lines on a pool worker.  Detail Symbols
+/// point into the chunk-local table; append_batch remaps them into the
+/// builder's table at retire time.
 struct ChunkResult {
   std::vector<LogRecord> records;
+  logmodel::SymbolTable symbols;
   std::size_t lines = 0;
   std::size_t skipped = 0;
 };
@@ -116,7 +119,7 @@ void ingest_parallel_source(std::istream& in, LineParseFn parse, const ParseCont
     pending.pop_front();
     total_lines += r.lines;
     skipped += r.skipped;
-    builder.append_batch(std::move(r.records));
+    builder.append_batch(std::move(r.records), r.symbols);
   };
 
   const auto read_next = [&](std::string& out) {
@@ -139,12 +142,14 @@ void ingest_parallel_source(std::istream& in, LineParseFn parse, const ParseCont
           pool.submit([text = std::move(chunk), parse, &ctx]() -> ChunkResult {
             util::TraceSpan span("hpcfail.ingest.parse_chunk");
             ChunkResult r;
+            ParseContext local = ctx;
+            local.symbols = &r.symbols;  // intern straight from the chunk buffer
             const auto lines = util::split_lines(text);
             r.lines = lines.size();
             r.records.reserve(lines.size());
             for (const auto line : lines) {
-              if (auto rec = parse(line, ctx)) {
-                r.records.push_back(std::move(*rec));
+              if (auto rec = parse(line, local)) {
+                r.records.push_back(*rec);
               } else {
                 ++r.skipped;
               }
@@ -169,7 +174,11 @@ void ingest_scheduler_source(std::istream& in, const ParseContext& ctx,
                              logmodel::StoreBuilder& builder, std::size_t& total_lines,
                              std::size_t& skipped) {
   util::ChunkedLineReader reader(in, options.chunk_bytes);
-  SchedulerLogParser sched(ctx, jobs);
+  // The scheduler parser is stateful and sequential; it interns directly
+  // into the builder's table, so append() needs no remap.
+  ParseContext sched_ctx = ctx;
+  sched_ctx.symbols = &builder.symbols();
+  SchedulerLogParser sched(sched_ctx, jobs);
   const IngestInstruments m = IngestInstruments::bind();
   std::size_t parsed_here = 0;
   std::size_t skipped_here = 0;
@@ -183,7 +192,7 @@ void ingest_scheduler_source(std::istream& in, const ParseContext& ctx,
     for (const auto line : util::split_lines(chunk)) {
       ++total_lines;
       if (auto rec = sched.parse_line(line)) {
-        builder.append(std::move(*rec));
+        builder.append(*rec);
         ++parsed_here;
       } else {
         ++skipped;
@@ -211,7 +220,10 @@ ParsedCorpus ingest_stream(const loggen::Corpus& header,
                                    : 2 * pool.size();
 
   const auto begin_civil = util::civil_time(header.begin);
-  const ParseContext ctx{&out.topology, begin_civil.year, begin_civil.month};
+  ParseContext ctx;
+  ctx.topo = &out.topology;
+  ctx.base_year = begin_civil.year;
+  ctx.base_month = begin_civil.month;
 
   const auto stream_of = [&sources](LogSource s) -> std::istream* {
     for (const auto& src : sources) {

@@ -33,8 +33,9 @@ namespace hpcfail::parsers {
 
 struct IngestOptions {
   /// Target chunk size in bytes; a chunk grows past this only when a
-  /// single line is longer.
-  std::size_t chunk_bytes = std::size_t{1} << 20;
+  /// single line is longer.  256 KiB keeps the in-flight buffers a small
+  /// fraction of peak RSS at no measurable throughput cost.
+  std::size_t chunk_bytes = std::size_t{1} << 18;
   /// Chunks parsed concurrently per source; 0 means 2 x pool size.
   std::size_t max_inflight_chunks = 0;
   /// Records per StoreBuilder shard (bounds the per-shard sort).

@@ -1,5 +1,7 @@
 #include "parsers/source_parsers.hpp"
 
+#include <array>
+
 #include "loggen/nid_ranges.hpp"
 #include "parsers/line_classifier.hpp"
 #include "platform/cname.hpp"
@@ -61,7 +63,7 @@ double extract_reading(std::string_view payload) noexcept {
 
 std::optional<LogRecord> parse_console_line(std::string_view line,
                                             const ParseContext& ctx) noexcept {
-  if (ctx.topo == nullptr) return std::nullopt;
+  if (ctx.topo == nullptr || ctx.symbols == nullptr) return std::nullopt;
   std::string_view rest = line;
   const auto ts_token = take_token(rest);
   const auto time = util::parse_iso(ts_token);
@@ -96,14 +98,14 @@ std::optional<LogRecord> parse_console_line(std::string_view line,
   r.severity = classified->severity;
   r.node = *node;
   r.job_id = job_id;
-  r.detail = std::string(classified->detail);
+  r.detail = ctx.symbols->intern(classified->detail);
   fill_location(r, *ctx.topo);
   return r;
 }
 
 std::optional<LogRecord> parse_messages_line(std::string_view line,
                                              const ParseContext& ctx) noexcept {
-  if (ctx.topo == nullptr || line.size() < 16) return std::nullopt;
+  if (ctx.topo == nullptr || ctx.symbols == nullptr || line.size() < 16) return std::nullopt;
   const auto time = util::parse_syslog(line.substr(0, 15), ctx.base_year, ctx.base_month);
   if (!time) return std::nullopt;
   std::string_view rest = util::trim(line.substr(15));
@@ -127,14 +129,14 @@ std::optional<LogRecord> parse_messages_line(std::string_view line,
   r.severity = classified->severity;
   r.node = *node;
   r.job_id = job_id;
-  r.detail = std::string(classified->detail);
+  r.detail = ctx.symbols->intern(classified->detail);
   fill_location(r, *ctx.topo);
   return r;
 }
 
 std::optional<LogRecord> parse_controller_line(std::string_view line,
                                                const ParseContext& ctx) noexcept {
-  if (ctx.topo == nullptr) return std::nullopt;
+  if (ctx.topo == nullptr || ctx.symbols == nullptr) return std::nullopt;
   std::string_view rest = line;
   const auto ts_token = take_token(rest);
   const auto time = util::parse_iso(ts_token);
@@ -175,17 +177,17 @@ std::optional<LogRecord> parse_controller_line(std::string_view line,
     if (value) r.value = util::parse_double(*value).value_or(0.0);
     std::string_view d = classified->detail;
     const auto sp = d.find(' ');
-    r.detail = std::string(sp == std::string_view::npos ? d : d.substr(0, sp));
+    r.detail = ctx.symbols->intern(sp == std::string_view::npos ? d : d.substr(0, sp));
   } else {
     r.value = extract_reading(payload);
-    r.detail = std::string(classified->detail);
+    r.detail = ctx.symbols->intern(classified->detail);
   }
   return r;
 }
 
 std::optional<LogRecord> parse_erd_line(std::string_view line,
                                         const ParseContext& ctx) noexcept {
-  if (ctx.topo == nullptr) return std::nullopt;
+  if (ctx.topo == nullptr || ctx.symbols == nullptr) return std::nullopt;
   std::string_view rest = line;
   const auto ts_token = take_token(rest);
   const auto time = util::parse_iso(ts_token);
@@ -235,11 +237,12 @@ std::optional<LogRecord> parse_erd_line(std::string_view line,
     const auto sp = rest.find(' ', src_pos);
     detail = sp == std::string_view::npos ? std::string_view{} : rest.substr(sp + 1);
   }
-  r.detail = std::string(util::trim(detail));
+  r.detail = ctx.symbols->intern(util::trim(detail));
   return r;
 }
 
 std::optional<LogRecord> SchedulerLogParser::parse_line(std::string_view line) {
+  if (ctx_.symbols == nullptr) return std::nullopt;
   // Torque/PBS dialect: MM/DD/YYYY HH:MM:SS;0008;PBS_Server;Job;<id>.sdb;<payload>
   if (line.size() > 20 && line[2] == '/' && line[19] == ';') {
     return parse_torque_line(line);
@@ -278,9 +281,10 @@ std::optional<LogRecord> SchedulerLogParser::parse_line(std::string_view line) {
     r.type = EventType::JobEnd;
     r.job_id = *job_id;
     r.value = exit_code;
-    r.detail = reason ? std::string(*reason) : std::string{};
+    const std::string_view reason_text = reason.value_or(std::string_view{});
+    r.detail = ctx_.symbols->intern(reason_text);
     r.severity = exit_code == 0 ? Severity::Info : Severity::Error;
-    table_.add_end(*job_id, *time, exit_code, r.detail);
+    table_.add_end(*job_id, *time, exit_code, std::string(reason_text));
     return r;
   }
   if (util::starts_with(rest, "scancel ")) {
@@ -288,7 +292,7 @@ std::optional<LogRecord> SchedulerLogParser::parse_line(std::string_view line) {
     if (!job_id) return std::nullopt;
     r.type = EventType::JobCancelled;
     r.job_id = *job_id;
-    r.detail = std::string(rest);
+    r.detail = ctx_.symbols->intern(rest);
     table_.mark_cancelled(*job_id);
     return r;
   }
@@ -298,7 +302,7 @@ std::optional<LogRecord> SchedulerLogParser::parse_line(std::string_view line) {
     r.type = EventType::JobOverallocation;
     r.job_id = *job_id;
     r.severity = Severity::Warning;
-    r.detail = "allocated memory exceeds node capacity";
+    r.detail = ctx_.symbols->intern("allocated memory exceeds node capacity");
     r.value = static_cast<double>(kv_i64("OverallocCnt").value_or(0));
     table_.mark_overallocated(*job_id,
                               static_cast<std::uint32_t>(kv_i64("OverallocCnt").value_or(0)));
@@ -309,7 +313,7 @@ std::optional<LogRecord> SchedulerLogParser::parse_line(std::string_view line) {
     if (!job_id) return std::nullopt;
     r.type = EventType::EpilogueRun;
     r.job_id = *job_id;
-    r.detail = "epilogue complete";
+    r.detail = ctx_.symbols->intern("epilogue complete");
     return r;
   }
   return std::nullopt;
@@ -319,28 +323,52 @@ std::optional<LogRecord> SchedulerLogParser::register_allocation(std::string_vie
                                                                  std::int64_t job_id,
                                                                  util::TimePoint time,
                                                                  LogRecord r) {
-  const auto node_list = util::find_kv(payload, "NodeList");
-  if (!node_list) return std::nullopt;
+  // One left-to-right token walk instead of five find_kv() scans: the
+  // NodeList value on wide allocations runs to kilobytes, and rescanning
+  // it per key dominated the sequential scheduler parse.
+  std::string_view node_list, apid, user, app, mem;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    while (pos < payload.size() && payload[pos] == ' ') ++pos;
+    std::size_t end = payload.find(' ', pos);
+    if (end == std::string_view::npos) end = payload.size();
+    const std::string_view token = payload.substr(pos, end - pos);
+    pos = end + 1;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "NodeList") {
+      node_list = value;
+    } else if (key == "Apid") {
+      apid = value;
+    } else if (key == "User") {
+      user = value;
+    } else if (key == "App") {
+      app = value;
+    } else if (key == "MemPerNode") {
+      mem = value;
+    }
+  }
+  if (node_list.empty()) return std::nullopt;
   jobs::JobInfo info;
   info.job_id = job_id;
-  if (const auto apid = util::find_kv(payload, "Apid")) {
-    info.apid = util::parse_i64(*apid).value_or(0);
-  }
-  if (const auto user = util::find_kv(payload, "User")) info.user = std::string(*user);
-  if (const auto app = util::find_kv(payload, "App")) info.app_name = std::string(*app);
+  if (!apid.empty()) info.apid = util::parse_i64(apid).value_or(0);
+  if (!user.empty()) info.user = std::string(user);
+  if (!app.empty()) info.app_name = std::string(app);
   info.start = time;
   info.end = time + util::Duration::days(36500);  // open until the end record
-  if (const auto mem = util::find_kv(payload, "MemPerNode")) {
-    std::string_view m = *mem;
+  if (!mem.empty()) {
+    std::string_view m = mem;
     if (util::ends_with(m, "G")) m.remove_suffix(1);
     info.mem_per_node_gb = util::parse_double(m).value_or(0.0);
   }
-  auto nodes = loggen::expand_node_list(*node_list);
+  auto nodes = loggen::expand_node_list(node_list);
   if (!nodes) return std::nullopt;
   info.nodes = std::move(*nodes);
   r.type = EventType::JobStart;
   r.job_id = info.job_id;
-  r.detail = info.app_name;
+  r.detail = ctx_.symbols->intern(info.app_name);
   table_.add_start(std::move(info));
   return r;
 }
@@ -348,9 +376,21 @@ std::optional<LogRecord> SchedulerLogParser::register_allocation(std::string_vie
 std::optional<LogRecord> SchedulerLogParser::parse_torque_line(std::string_view line) {
   const auto time = util::parse_torque(line.substr(0, 19));
   if (!time) return std::nullopt;
-  // ;<code>;PBS_Server;Job;<id>.sdb;<payload>
-  const auto fields = util::split_n(line.substr(20), ';', 5);
-  if (fields.size() < 5 || fields[1] != "PBS_Server" || fields[2] != "Job") {
+  // ;<code>;PBS_Server;Job;<id>.sdb;<payload> — split into the five fixed
+  // fields in place (the payload keeps any further ';') without the
+  // per-line vector a split_n() call would allocate.
+  std::array<std::string_view, 5> fields;
+  {
+    std::string_view rest = line.substr(20);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::size_t semi = rest.find(';');
+      if (semi == std::string_view::npos) return std::nullopt;
+      fields[i] = rest.substr(0, semi);
+      rest.remove_prefix(semi + 1);
+    }
+    fields[4] = rest;
+  }
+  if (fields[1] != "PBS_Server" || fields[2] != "Job") {
     return std::nullopt;
   }
   std::string_view id_field = fields[3];
@@ -374,21 +414,22 @@ std::optional<LogRecord> SchedulerLogParser::parse_torque_line(std::string_view 
     const auto reason = util::find_kv(payload, "Reason");
     r.type = EventType::JobEnd;
     r.value = exit_code;
-    r.detail = reason ? std::string(*reason) : std::string{};
+    const std::string_view reason_text = reason.value_or(std::string_view{});
+    r.detail = ctx_.symbols->intern(reason_text);
     r.severity = exit_code == 0 ? Severity::Info : Severity::Error;
-    table_.add_end(*job_id, *time, exit_code, r.detail);
+    table_.add_end(*job_id, *time, exit_code, std::string(reason_text));
     return r;
   }
   if (util::starts_with(payload, "Job deleted")) {
     r.type = EventType::JobCancelled;
-    r.detail = std::string(payload);
+    r.detail = ctx_.symbols->intern(payload);
     table_.mark_cancelled(*job_id);
     return r;
   }
   if (util::contains(payload, "allocated memory exceeds node capacity")) {
     r.type = EventType::JobOverallocation;
     r.severity = Severity::Warning;
-    r.detail = "allocated memory exceeds node capacity";
+    r.detail = ctx_.symbols->intern("allocated memory exceeds node capacity");
     const auto count = util::find_kv(payload, "OverallocCnt");
     const auto n = count ? util::parse_i64(*count).value_or(0) : 0;
     r.value = static_cast<double>(n);
@@ -397,7 +438,7 @@ std::optional<LogRecord> SchedulerLogParser::parse_torque_line(std::string_view 
   }
   if (util::starts_with(payload, "Epilogue complete")) {
     r.type = EventType::EpilogueRun;
-    r.detail = "epilogue complete";
+    r.detail = ctx_.symbols->intern("epilogue complete");
     return r;
   }
   return std::nullopt;

@@ -8,12 +8,18 @@
 
 #include "jobs/job_table.hpp"
 #include "logmodel/record.hpp"
+#include "logmodel/symbol_table.hpp"
 #include "platform/topology.hpp"
 
 namespace hpcfail::parsers {
 
 struct ParseContext {
   const platform::Topology* topo = nullptr;
+  /// Table detail strings are interned into, straight from the line's
+  /// string_views (no per-record allocation).  Parsers yield nullopt when
+  /// unset, like topo.  On the streaming path each chunk task points this
+  /// at its chunk-local table; StoreBuilder remaps at retire time.
+  logmodel::SymbolTable* symbols = nullptr;
   /// Year of the corpus window's first day; syslog timestamps carry none.
   int base_year = 1970;
   /// Month (1..12) of the window's first day.  Syslog months calendar-

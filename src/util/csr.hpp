@@ -1,0 +1,35 @@
+// Compressed-sparse-row index: one flat `entries` array holding runs of
+// values grouped by a dense uint32 key, with `offsets[k] .. offsets[k+1]`
+// delimiting key k's run.  For id-keyed secondary indexes (ids come from
+// real machine topologies, so the key space is small and dense) this
+// replaces a hash map of per-key vectors with two exact-sized allocations:
+// lookups are one bounds check + two loads, and there is no per-key heap
+// block or growth slack.
+//
+// Building is the caller's job (count into offsets[key + 1], prefix-sum,
+// then fill entries through a cursor copy of offsets) because callers fuse
+// the counting passes of several indexes; see LogStore::build_indexes and
+// JobTable::finalize.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hpcfail::util {
+
+template <class T>
+struct CsrIndex {
+  std::vector<std::uint32_t> offsets;  ///< size max_key + 2; empty when no entries
+  std::vector<T> entries;              ///< values grouped by key
+
+  /// The run for `key`; empty for keys never filled (including keys past
+  /// the built range, so no caller needs to pre-check bounds).
+  [[nodiscard]] std::span<const T> of(std::uint32_t key) const noexcept {
+    if (key + 1 >= offsets.size()) return {};
+    return std::span<const T>(entries).subspan(offsets[key],
+                                               offsets[key + 1] - offsets[key]);
+  }
+};
+
+}  // namespace hpcfail::util

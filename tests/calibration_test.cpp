@@ -114,8 +114,9 @@ TEST(ChatterTest, ChatterPresentAndSkippedOnly) {
   // Chatter never becomes records: no record detail matches a chatter
   // payload signature.
   for (const auto& rec : r.parsed.store.records()) {
-    EXPECT_EQ(rec.detail.find("crng init done"), std::string::npos);
-    EXPECT_EQ(rec.detail.find("Started Session"), std::string::npos);
+    const std::string_view detail = r.parsed.store.detail(rec);
+    EXPECT_EQ(detail.find("crng init done"), std::string_view::npos);
+    EXPECT_EQ(detail.find("Started Session"), std::string_view::npos);
   }
 }
 

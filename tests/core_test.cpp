@@ -37,6 +37,12 @@ std::vector<AnalyzedFailure> analyze_all(const logmodel::LogStore& store,
 
 const util::TimePoint kBase = util::make_time(2015, 3, 2);
 
+/// Shared interner for the synthetic records; each store gets a copy.
+logmodel::SymbolTable& test_symbols() {
+  static logmodel::SymbolTable table;
+  return table;
+}
+
 LogRecord rec(util::Duration offset, EventType type, std::uint32_t node,
               std::string detail = {}, std::int64_t job = logmodel::kNoJob) {
   LogRecord r;
@@ -46,7 +52,7 @@ LogRecord rec(util::Duration offset, EventType type, std::uint32_t node,
   r.node = platform::NodeId{node};
   r.blade = platform::BladeId{node / 4};
   r.cabinet = platform::CabinetId{0};
-  r.detail = std::move(detail);
+  r.detail = test_symbols().intern(detail);
   r.job_id = job;
   return r;
 }
@@ -58,7 +64,7 @@ TEST(DetectorTest, MarkerClusterIsOneFailure) {
   records.push_back(rec(util::Duration::minutes(10), EventType::KernelPanic, 1));
   records.push_back(rec(util::Duration::minutes(10) + util::Duration::seconds(5),
                         EventType::NodeShutdown, 1));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const auto failures = FailureDetector().detect(store, nullptr);
   ASSERT_EQ(failures.size(), 1u);
   EXPECT_EQ(failures[0].marker, EventType::KernelPanic);
@@ -70,7 +76,7 @@ TEST(DetectorTest, SeparateEpisodesSeparateFailures) {
   records.push_back(rec(util::Duration::minutes(10), EventType::KernelPanic, 1));
   records.push_back(rec(util::Duration::minutes(60), EventType::KernelPanic, 1));
   records.push_back(rec(util::Duration::minutes(10), EventType::NodeHalt, 2));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const auto failures = FailureDetector().detect(store, nullptr);
   EXPECT_EQ(failures.size(), 3u);
 }
@@ -82,7 +88,7 @@ TEST(DetectorTest, ChainAndFirstInternal) {
   records.push_back(rec(util::Duration::minutes(9), EventType::KernelPanic, 1));
   // Unrelated node noise must not leak into the chain.
   records.push_back(rec(util::Duration::minutes(6), EventType::LustreError, 2));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const auto failures = FailureDetector().detect(store, nullptr);
   ASSERT_EQ(failures.size(), 1u);
   EXPECT_EQ(failures[0].chain.size(), 2u);
@@ -95,7 +101,7 @@ TEST(DetectorTest, LookbackBoundary) {
   records.push_back(rec(util::Duration::minutes(29), EventType::HardwareError, 1));
   records.push_back(rec(util::Duration::minutes(55), EventType::MachineCheckException, 1));
   records.push_back(rec(util::Duration::minutes(60), EventType::KernelPanic, 1));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const auto failures = FailureDetector().detect(store, nullptr);
   ASSERT_EQ(failures.size(), 1u);
   EXPECT_EQ(failures[0].chain.size(), 1u);  // only the MCE is in the window
@@ -106,7 +112,7 @@ TEST(DetectorTest, JobAttributionFromRecordAndTable) {
   std::vector<LogRecord> records;
   records.push_back(rec(util::Duration::minutes(9), EventType::KernelPanic, 1, "", 42));
   records.push_back(rec(util::Duration::minutes(20), EventType::KernelPanic, 5));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
 
   jobs::Job job;
   job.job_id = 99;
@@ -193,7 +199,7 @@ TEST(EngineTest, CollectEvidenceWindows) {
   records.push_back(ec);
   // An MCE on another node of the same blade must NOT count.
   records.push_back(rec(util::Duration::minutes(59), EventType::OomKill, 2));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const auto failures = FailureDetector().detect(store, nullptr);
   ASSERT_EQ(failures.size(), 1u);
   const RootCauseEngine engine;
@@ -283,7 +289,7 @@ TEST(SpatialTest, AttributionFindsPlantedBladeFault) {
   cab_fault.source = LogSource::Controller;
   cab_fault.cabinet = platform::CabinetId{1};
   records.push_back(cab_fault);
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const platform::Topology topo;
   const SpatialAnalyzer spatial(store, topo);
 
@@ -332,7 +338,7 @@ TEST(CorrelatorTest, NvfNhfCorrespondence) {
                       "node heartbeat fault: node powered off");
   nhf.source = LogSource::Erd;
   records.push_back(nhf);
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
 
   auto failures = synthetic_failures({{60, RootCause::FailSlowHardware}});
   failures[0].event.node = platform::NodeId{1};
@@ -356,7 +362,7 @@ TEST(LeadTimeTest, EnhancementFromExternal) {
   LogRecord ec = rec(util::Duration::minutes(40), EventType::EcHwError, 1);
   ec.source = LogSource::Erd;
   records.push_back(ec);
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const auto failures = analyze_all(store, nullptr);
   ASSERT_EQ(failures.size(), 1u);
   const LeadTimeAnalyzer analyzer(store);
@@ -374,7 +380,7 @@ TEST(LeadTimeTest, NoEnhancementWithoutExternal) {
   std::vector<LogRecord> records;
   records.push_back(rec(util::Duration::minutes(58), EventType::OomKill, 1));
   records.push_back(rec(util::Duration::minutes(60), EventType::NodeHalt, 1));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const auto failures = analyze_all(store, nullptr);
   ASSERT_EQ(failures.size(), 1u);
   const LeadTimeAnalyzer analyzer(store);
@@ -398,7 +404,7 @@ TEST(LeadTimeTest, PredictorPatternsAndGate) {
   LogRecord ec = rec(util::Duration::minutes(5), EventType::EcHwError, 1);
   ec.source = LogSource::Erd;
   records.push_back(ec);
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const auto failures = analyze_all(store, nullptr);
   const LeadTimeAnalyzer analyzer(store);
 
@@ -423,7 +429,7 @@ TEST(ParallelAnalysisTest, MatchesSerialExactly) {
     records.push_back(
         rec(base_offset + util::Duration::minutes(3), EventType::KernelPanic, n));
   }
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const auto serial = analyze_all(store, nullptr);
   util::ThreadPool pool(4);
   const auto parallel = analyze_all(store, nullptr, &pool);
@@ -566,7 +572,7 @@ TEST(ReportTest, MarkdownReportContainsAllSections) {
   records.push_back(rec(util::Duration::minutes(8), EventType::MachineCheckException, 1));
   records.push_back(rec(util::Duration::minutes(9), EventType::KernelPanic, 1));
   records.push_back(rec(util::Duration::minutes(40), EventType::NodeBoot, 1));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const platform::Topology topo;
   ReportInputs inputs;
   inputs.store = &store;
@@ -620,7 +626,7 @@ TEST(ReportTest, MarkdownReportOnFailureFreeWindow) {
   std::vector<LogRecord> records;
   records.push_back(rec(util::Duration::minutes(5), EventType::SedcTemperatureWarning, 1));
   records.push_back(rec(util::Duration::minutes(9), EventType::NodeBoot, 2));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const platform::Topology topo;
   ReportInputs inputs;
   inputs.store = &store;

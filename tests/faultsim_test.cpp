@@ -20,9 +20,10 @@ struct ChainFixture {
   platform::Topology topo{platform::TopologyConfig{}};
   FailureProcessConfig config;
   std::vector<logmodel::LogRecord> records;
+  logmodel::SymbolTable symbols;
   GroundTruth truth;
   util::Rng rng{99};
-  ChainEmitter emitter{topo, config, records, truth, rng};
+  ChainEmitter emitter{topo, config, records, symbols, truth, rng};
 
   std::size_t count(EventType t) const {
     return static_cast<std::size_t>(

@@ -82,7 +82,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, NidRangeRoundTrip,
 
 TEST(RendererTest, ConsoleLineGrammar) {
   const platform::Topology topo(platform::system_preset(platform::SystemName::S1).topology);
-  const LogRenderer renderer(topo, platform::SchedulerKind::Slurm);
+  logmodel::SymbolTable symbols;
+  const LogRenderer renderer(topo, platform::SchedulerKind::Slurm, symbols);
   logmodel::LogRecord r;
   r.time = util::make_time(2015, 3, 2, 14, 5, 1, 123456);
   r.source = logmodel::LogSource::Console;
@@ -90,7 +91,7 @@ TEST(RendererTest, ConsoleLineGrammar) {
   r.node = platform::NodeId{42};
   r.blade = topo.blade_of(r.node);
   r.job_id = 100001;
-  r.detail = "Fatal machine check";
+  r.detail = symbols.intern("Fatal machine check");
   const std::string line = renderer.render(r);
   EXPECT_TRUE(util::starts_with(line, "2015-03-02T14:05:01.123456 nid00042 "));
   EXPECT_NE(line.find("kernel: Kernel panic - not syncing: Fatal machine check"),
@@ -101,13 +102,14 @@ TEST(RendererTest, ConsoleLineGrammar) {
 
 TEST(RendererTest, HostnameSchemeOmitsCname) {
   const platform::Topology topo(platform::system_preset(platform::SystemName::S5).topology);
-  const LogRenderer renderer(topo, platform::SchedulerKind::Slurm);
+  logmodel::SymbolTable symbols;
+  const LogRenderer renderer(topo, platform::SchedulerKind::Slurm, symbols);
   logmodel::LogRecord r;
   r.time = util::make_time(2015, 3, 2);
   r.source = logmodel::LogSource::Console;
   r.type = logmodel::EventType::OomKill;
   r.node = platform::NodeId{3};
-  r.detail = "Out of memory: kill process matlab";
+  r.detail = symbols.intern("Out of memory: kill process matlab");
   const std::string line = renderer.render(r);
   EXPECT_NE(line.find(" node0003 kernel: "), std::string::npos);
   EXPECT_EQ(line.find(" c0-"), std::string::npos);
@@ -115,14 +117,15 @@ TEST(RendererTest, HostnameSchemeOmitsCname) {
 
 TEST(RendererTest, ErdLineCarriesEventAndNode) {
   const platform::Topology topo(platform::system_preset(platform::SystemName::S1).topology);
-  const LogRenderer renderer(topo, platform::SchedulerKind::Slurm);
+  logmodel::SymbolTable symbols;
+  const LogRenderer renderer(topo, platform::SchedulerKind::Slurm, symbols);
   logmodel::LogRecord r;
   r.time = util::make_time(2015, 3, 2);
   r.source = logmodel::LogSource::Erd;
   r.type = logmodel::EventType::NodeHeartbeatFault;
   r.node = platform::NodeId{7};
   r.blade = topo.blade_of(r.node);
-  r.detail = "node heartbeat fault: failed health test";
+  r.detail = symbols.intern("node heartbeat fault: failed health test");
   const std::string line = renderer.render(r);
   EXPECT_NE(line.find("ev=ec_node_failed"), std::string::npos);
   EXPECT_NE(line.find("node=nid00007"), std::string::npos);
@@ -131,7 +134,8 @@ TEST(RendererTest, ErdLineCarriesEventAndNode) {
 
 TEST(RendererTest, JobLinesContainAllocationAndEnd) {
   const platform::Topology topo(platform::system_preset(platform::SystemName::S1).topology);
-  const LogRenderer renderer(topo, platform::SchedulerKind::Slurm);
+  logmodel::SymbolTable symbols;
+  const LogRenderer renderer(topo, platform::SchedulerKind::Slurm, symbols);
   jobs::Job job;
   job.job_id = 100500;
   job.apid = 1005007;
@@ -154,7 +158,8 @@ TEST(RendererTest, JobLinesContainAllocationAndEnd) {
 
 TEST(RendererTest, TorqueDialect) {
   const platform::Topology topo(platform::system_preset(platform::SystemName::S2).topology);
-  const LogRenderer renderer(topo, platform::SchedulerKind::Torque);
+  logmodel::SymbolTable symbols;
+  const LogRenderer renderer(topo, platform::SchedulerKind::Torque, symbols);
   jobs::Job job;
   job.job_id = 4242;
   job.user = "bob";
@@ -176,11 +181,12 @@ TEST(RendererTest, TorqueDialect) {
 /// depend on these byte-for-byte.
 TEST(RendererGoldenTest, ExactLines) {
   const platform::Topology topo(platform::system_preset(platform::SystemName::S1).topology);
-  const LogRenderer renderer(topo, platform::SchedulerKind::Slurm);
+  logmodel::SymbolTable symbols;
+  const LogRenderer renderer(topo, platform::SchedulerKind::Slurm, symbols);
   const util::TimePoint t = util::make_time(2015, 3, 2, 14, 5, 1, 123456);
 
-  auto record = [&topo, t](logmodel::LogSource src, logmodel::EventType type,
-                           std::string detail, double value = 0.0) {
+  auto record = [&topo, &symbols, t](logmodel::LogSource src, logmodel::EventType type,
+                                   std::string_view detail, double value = 0.0) {
     logmodel::LogRecord r;
     r.time = t;
     r.source = src;
@@ -188,7 +194,7 @@ TEST(RendererGoldenTest, ExactLines) {
     r.node = platform::NodeId{42};
     r.blade = topo.blade_of(r.node);
     r.cabinet = topo.cabinet_of(r.node);
-    r.detail = std::move(detail);
+    r.detail = symbols.intern(detail);
     r.value = value;
     return r;
   };

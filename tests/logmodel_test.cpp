@@ -207,17 +207,19 @@ TEST(LogStoreTest, QueriesOnNonFinalizedStoreThrow) {
 
 // ------------------------------------------------------- StoreBuilder ----
 
-/// Time-tied records tagged with their append order in `detail`; the
-/// sharded build must reproduce the global stable_sort order exactly.
-std::vector<LogRecord> tied_sequence(std::size_t n, std::uint64_t seed) {
+/// Time-tied records tagged with their append order in `detail` (interned
+/// into `symbols`); the sharded build must reproduce the global
+/// stable_sort order exactly.
+std::vector<LogRecord> tied_sequence(std::size_t n, std::uint64_t seed,
+                                     SymbolTable& symbols) {
   util::Rng rng(seed);
   std::vector<LogRecord> out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto r = make_record(rng.uniform_int(0, 49), EventType::KernelPanic,
                          static_cast<std::uint32_t>(i % 7));
-    r.detail = std::to_string(i);
-    out.push_back(std::move(r));
+    r.detail = symbols.intern(std::to_string(i));
+    out.push_back(r);
   }
   return out;
 }
@@ -226,15 +228,17 @@ void expect_same_order(const LogStore& want, const LogStore& got) {
   ASSERT_EQ(want.size(), got.size());
   for (std::size_t i = 0; i < want.size(); ++i) {
     ASSERT_EQ(want[i].time, got[i].time) << i;
-    ASSERT_EQ(want[i].detail, got[i].detail) << i;
+    ASSERT_EQ(want.detail(i), got.detail(i)) << i;
   }
 }
 
 TEST(StoreBuilderTest, MatchesGlobalStableSort) {
-  const auto sequence = tied_sequence(1000, 31);
-  const LogStore reference{std::vector<LogRecord>(sequence)};
+  SymbolTable symbols;
+  const auto sequence = tied_sequence(1000, 31, symbols);
+  const LogStore reference{std::vector<LogRecord>(sequence), symbols};
 
   StoreBuilder builder(64);  // ~16 shards
+  builder.symbols() = symbols;  // sequence Symbols stay valid in the builder
   util::Rng rng(32);
   std::size_t i = 0;
   while (i < sequence.size()) {
@@ -256,20 +260,25 @@ TEST(StoreBuilderTest, MatchesGlobalStableSort) {
 }
 
 TEST(StoreBuilderTest, ParallelShardSortMatchesSerial) {
-  const auto sequence = tied_sequence(500, 77);
-  const LogStore reference{std::vector<LogRecord>(sequence)};
+  SymbolTable symbols;
+  const auto sequence = tied_sequence(500, 77, symbols);
+  const LogStore reference{std::vector<LogRecord>(sequence), symbols};
   util::ThreadPool pool(4);
   StoreBuilder builder(32);
-  builder.append_batch(std::vector<LogRecord>(sequence));
+  // The two-arg overload remaps through absorb(); ids differ but the
+  // resolved text must not.
+  builder.append_batch(std::vector<LogRecord>(sequence), symbols);
   expect_same_order(reference, builder.build(&pool));
 }
 
 TEST(StoreBuilderTest, OversizedBatchKeepsContiguity) {
   // A batch larger than shard_records becomes its own shard; interleaving
   // with single appends must still reproduce the stable order.
-  const auto sequence = tied_sequence(300, 5);
-  const LogStore reference{std::vector<LogRecord>(sequence)};
+  SymbolTable symbols;
+  const auto sequence = tied_sequence(300, 5, symbols);
+  const LogStore reference{std::vector<LogRecord>(sequence), symbols};
   StoreBuilder builder(16);
+  builder.symbols() = symbols;
   builder.append(sequence[0]);
   builder.append_batch({sequence.begin() + 1, sequence.begin() + 200});
   for (std::size_t i = 200; i < sequence.size(); ++i) builder.append(sequence[i]);

@@ -15,37 +15,41 @@ using logmodel::LogRecord;
 
 const util::TimePoint kBase = util::make_time(2015, 3, 2);
 
-LogRecord rec(util::Duration offset, EventType type, std::uint32_t node,
-              std::string detail = {}) {
+LogRecord rec(util::Duration offset, EventType type, std::uint32_t node) {
   LogRecord r;
   r.time = kBase + offset;
   r.type = type;
   r.node = platform::NodeId{node};
   r.blade = platform::BladeId{node / 4};
-  r.detail = std::move(detail);
   return r;
+}
+
+/// None of the synthetic records carries detail text, so the resolved
+/// detail fed to the monitor is always empty.
+std::vector<Alert> feed(OnlineMonitor& monitor, const LogRecord& r) {
+  return monitor.ingest(r, {});
 }
 
 TEST(MonitorTest, PatternWarningThenConfirmation) {
   OnlineMonitor monitor;
-  EXPECT_TRUE(monitor.ingest(rec(util::Duration::minutes(1), EventType::HardwareError, 1))
+  EXPECT_TRUE(feed(monitor, rec(util::Duration::minutes(1), EventType::HardwareError, 1))
                   .empty());
   const auto warn =
-      monitor.ingest(rec(util::Duration::minutes(3), EventType::MachineCheckException, 1));
+      feed(monitor, rec(util::Duration::minutes(3), EventType::MachineCheckException, 1));
   ASSERT_EQ(warn.size(), 1u);
   EXPECT_EQ(warn[0].kind, AlertKind::PatternWarning);
 
   const auto confirmed =
-      monitor.ingest(rec(util::Duration::minutes(6), EventType::KernelPanic, 1));
+      feed(monitor, rec(util::Duration::minutes(6), EventType::KernelPanic, 1));
   ASSERT_EQ(confirmed.size(), 1u);
   EXPECT_EQ(confirmed[0].kind, AlertKind::FailureConfirmed);
   EXPECT_EQ(confirmed[0].suspected, logmodel::RootCause::HardwareMce);
 
   // Duplicate markers do not re-alert; the reboot closes the episode.
-  EXPECT_TRUE(monitor.ingest(rec(util::Duration::minutes(7), EventType::NodeShutdown, 1))
+  EXPECT_TRUE(feed(monitor, rec(util::Duration::minutes(7), EventType::NodeShutdown, 1))
                   .empty());
   const auto recovered =
-      monitor.ingest(rec(util::Duration::minutes(30), EventType::NodeBoot, 1));
+      feed(monitor, rec(util::Duration::minutes(30), EventType::NodeBoot, 1));
   ASSERT_EQ(recovered.size(), 1u);
   EXPECT_EQ(recovered[0].kind, AlertKind::NodeRecovered);
 }
@@ -54,10 +58,10 @@ TEST(MonitorTest, ExternalUpgradesWarning) {
   OnlineMonitor monitor;
   LogRecord ec = rec(util::Duration::minutes(0), EventType::EcHwError, 1);
   ec.node = platform::NodeId{};  // blade-scoped
-  (void)monitor.ingest(ec);
-  (void)monitor.ingest(rec(util::Duration::minutes(5), EventType::HardwareError, 1));
+  (void)feed(monitor, ec);
+  (void)feed(monitor, rec(util::Duration::minutes(5), EventType::HardwareError, 1));
   const auto alerts =
-      monitor.ingest(rec(util::Duration::minutes(7), EventType::MachineCheckException, 1));
+      feed(monitor, rec(util::Duration::minutes(7), EventType::MachineCheckException, 1));
   ASSERT_EQ(alerts.size(), 1u);
   EXPECT_EQ(alerts[0].kind, AlertKind::ExternalEarlyWarning);
   EXPECT_EQ(alerts[0].suspected, logmodel::RootCause::FailSlowHardware);
@@ -65,32 +69,32 @@ TEST(MonitorTest, ExternalUpgradesWarning) {
 
 TEST(MonitorTest, WarningCooldownSuppressesRepeats) {
   OnlineMonitor monitor;
-  (void)monitor.ingest(rec(util::Duration::minutes(0), EventType::LustreError, 2));
+  (void)feed(monitor, rec(util::Duration::minutes(0), EventType::LustreError, 2));
   const auto first =
-      monitor.ingest(rec(util::Duration::minutes(1), EventType::DvsError, 2));
+      feed(monitor, rec(util::Duration::minutes(1), EventType::DvsError, 2));
   ASSERT_EQ(first.size(), 1u);
   // More pattern hits within the cooldown stay silent.
   EXPECT_TRUE(
-      monitor.ingest(rec(util::Duration::minutes(2), EventType::LustreError, 2)).empty());
+      feed(monitor, rec(util::Duration::minutes(2), EventType::LustreError, 2)).empty());
   EXPECT_TRUE(
-      monitor.ingest(rec(util::Duration::minutes(3), EventType::DvsError, 2)).empty());
+      feed(monitor, rec(util::Duration::minutes(3), EventType::DvsError, 2)).empty());
 }
 
 TEST(MonitorTest, SingleTypeBurstNeverWarns) {
   OnlineMonitor monitor;
   for (int i = 0; i < 10; ++i) {
     EXPECT_TRUE(
-        monitor.ingest(rec(util::Duration::minutes(i), EventType::LustreError, 3)).empty());
+        feed(monitor, rec(util::Duration::minutes(i), EventType::LustreError, 3)).empty());
   }
 }
 
 TEST(MonitorTest, EvidenceMemoryExpires) {
   OnlineMonitor monitor;
-  (void)monitor.ingest(rec(util::Duration::minutes(0), EventType::HardwareError, 4));
+  (void)feed(monitor, rec(util::Duration::minutes(0), EventType::HardwareError, 4));
   // 40 minutes later (beyond evidence memory AND pattern window): the
   // earlier record cannot pair into a pattern.
   EXPECT_TRUE(
-      monitor.ingest(rec(util::Duration::minutes(40), EventType::MachineCheckException, 4))
+      feed(monitor, rec(util::Duration::minutes(40), EventType::MachineCheckException, 4))
           .empty());
 }
 
@@ -98,22 +102,22 @@ TEST(MonitorTest, ExternalMemoryExpires) {
   OnlineMonitor monitor;
   LogRecord ec = rec(util::Duration::minutes(0), EventType::EcHwError, 5);
   ec.node = platform::NodeId{};
-  (void)monitor.ingest(ec);
+  (void)feed(monitor, ec);
   // Two hours later the external indicator has aged out: the pattern only
   // rates a plain warning.
-  (void)monitor.ingest(rec(util::Duration::minutes(125), EventType::HardwareError, 5));
-  const auto alerts = monitor.ingest(
-      rec(util::Duration::minutes(127), EventType::MachineCheckException, 5));
+  (void)feed(monitor, rec(util::Duration::minutes(125), EventType::HardwareError, 5));
+  const auto alerts = feed(
+      monitor, rec(util::Duration::minutes(127), EventType::MachineCheckException, 5));
   ASSERT_EQ(alerts.size(), 1u);
   EXPECT_EQ(alerts[0].kind, AlertKind::PatternWarning);
 }
 
 TEST(MonitorTest, DiagnosisUsesAccumulatedEvidence) {
   OnlineMonitor monitor;
-  (void)monitor.ingest(rec(util::Duration::minutes(1), EventType::PageAllocationFailure, 6));
-  (void)monitor.ingest(rec(util::Duration::minutes(2), EventType::OomKill, 6));
+  (void)feed(monitor, rec(util::Duration::minutes(1), EventType::PageAllocationFailure, 6));
+  (void)feed(monitor, rec(util::Duration::minutes(2), EventType::OomKill, 6));
   const auto confirmed =
-      monitor.ingest(rec(util::Duration::minutes(5), EventType::NodeHalt, 6));
+      feed(monitor, rec(util::Duration::minutes(5), EventType::NodeHalt, 6));
   ASSERT_EQ(confirmed.size(), 1u);
   EXPECT_EQ(confirmed[0].suspected, logmodel::RootCause::MemoryExhaustion);
 }

@@ -120,7 +120,8 @@ TEST(ClassifierTest, ErdEventNames) {
 
 TEST(ConsoleParserTest, ParsesFullLine) {
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2015};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2015};
   const auto r = parse_console_line(
       "2015-03-02T14:05:01.123456 nid00042 c0-0c0s10n2 kernel: "
       "Kernel panic - not syncing: Fatal exception jobid=100007",
@@ -130,12 +131,13 @@ TEST(ConsoleParserTest, ParsesFullLine) {
   EXPECT_EQ(r->node.value, 42u);
   EXPECT_EQ(r->job_id, 100007);
   EXPECT_EQ(r->blade.value, topo.blade_of(platform::NodeId{42}).value);
-  EXPECT_EQ(r->detail, "Fatal exception");
+  EXPECT_EQ(symbols.view(r->detail), "Fatal exception");
 }
 
 TEST(ConsoleParserTest, ConsumerDaemonMapsToConsumerSource) {
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2015};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2015};
   const auto r = parse_console_line(
       "2015-03-02T14:05:01.000000 nid00001 c0-0c0s0n1 hwerrd: EDAC MC0: x", ctx);
   ASSERT_TRUE(r.has_value());
@@ -144,7 +146,8 @@ TEST(ConsoleParserTest, ConsumerDaemonMapsToConsumerSource) {
 
 TEST(ConsoleParserTest, RejectsMalformed) {
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2015};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2015};
   EXPECT_FALSE(parse_console_line("", ctx).has_value());
   EXPECT_FALSE(parse_console_line("not a line at all", ctx).has_value());
   EXPECT_FALSE(
@@ -157,7 +160,8 @@ TEST(ConsoleParserTest, RejectsMalformed) {
 
 TEST(MessagesParserTest, SyslogTimestampAndJob) {
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2015};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2015};
   const auto r = parse_messages_line(
       "Mar  2 14:05:01 nid00042 nhc[2114]: NHC: memory test failed jobid=55", ctx);
   ASSERT_TRUE(r.has_value());
@@ -170,7 +174,8 @@ TEST(MessagesParserTest, YearRolloverAcrossNewYear) {
   // A corpus window starting in December: syslog lines carry no year, so
   // January lines must be dated into base_year + 1, not 11 months back.
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2014, 12};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2014, 12};
   const auto dec = parse_messages_line(
       "Dec 31 23:59:58 nid00042 nhc[2114]: NHC: memory test failed jobid=55", ctx);
   const auto jan = parse_messages_line(
@@ -184,7 +189,8 @@ TEST(MessagesParserTest, YearRolloverAcrossNewYear) {
 
 TEST(ControllerParserTest, BladeScopedWarningWithValue) {
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2015};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2015};
   const auto r = parse_controller_line(
       "2015-03-02T00:10:00.000000 c0-0c1s3 cc: ec_sedc_warning: AIR_VEL reading 1.532 below "
       "minimum",
@@ -199,19 +205,21 @@ TEST(ControllerParserTest, BladeScopedWarningWithValue) {
 
 TEST(ControllerParserTest, SedcReadingNodeScoped) {
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2015};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2015};
   const auto r = parse_controller_line(
       "2015-03-02T00:10:00.000000 c0-0c0s0n2 cc: sedc: CpuTemperature value=40.125", ctx);
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->type, EventType::SedcReading);
   EXPECT_EQ(r->node.value, 2u);
   EXPECT_NEAR(r->value, 40.125, 1e-9);
-  EXPECT_EQ(r->detail, "CpuTemperature");
+  EXPECT_EQ(symbols.view(r->detail), "CpuTemperature");
 }
 
 TEST(ErdParserTest, NodeEvent) {
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2015};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2015};
   const auto r = parse_erd_line(
       "2015-03-02T01:02:03.000000 erd ev=ec_node_voltage_fault src=c0-0c0s10n2 "
       "node=nid00042 node voltage fault: VDD out of range",
@@ -219,12 +227,13 @@ TEST(ErdParserTest, NodeEvent) {
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->type, EventType::NodeVoltageFault);
   EXPECT_EQ(r->node.value, 42u);
-  EXPECT_NE(r->detail.find("VDD"), std::string::npos);
+  EXPECT_NE(symbols.view(r->detail).find("VDD"), std::string_view::npos);
 }
 
 TEST(ErdParserTest, BladeScopedEvent) {
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2015};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2015};
   const auto r = parse_erd_line(
       "2015-03-02T01:02:03.000000 erd ev=ec_hw_error src=c0-0c1s7 corrected error", ctx);
   ASSERT_TRUE(r.has_value());
@@ -235,7 +244,8 @@ TEST(ErdParserTest, BladeScopedEvent) {
 
 TEST(SchedulerParserTest, BuildsJobTable) {
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2015};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2015};
   jobs::JobTable table;
   SchedulerLogParser parser(ctx, table);
 
@@ -274,7 +284,8 @@ TEST(SchedulerParserTest, BuildsJobTable) {
 
 TEST(SchedulerParserTest, TorqueDialectFullLifecycle) {
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2015};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2015};
   jobs::JobTable table;
   SchedulerLogParser parser(ctx, table);
 
@@ -315,7 +326,8 @@ TEST(SchedulerParserTest, TorqueDialectFullLifecycle) {
 
 TEST(SchedulerParserTest, TorqueMalformedRejected) {
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2015};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2015};
   jobs::JobTable table;
   SchedulerLogParser parser(ctx, table);
   EXPECT_FALSE(parser.parse_line("03/02/2015 08:00:00;0008;PBS_Server").has_value());
@@ -337,7 +349,8 @@ class ParserTotality : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ParserTotality, MutatedLinesNeverThrow) {
   const auto topo = s1_topology();
-  const ParseContext ctx{&topo, 2015};
+  logmodel::SymbolTable symbols;
+  const ParseContext ctx{&topo, &symbols, 2015};
   jobs::JobTable table;
   SchedulerLogParser sched(ctx, table);
   util::Rng rng(GetParam());
@@ -436,7 +449,7 @@ TEST(CorpusParseTest, CrlfCorpusParsesIdentically) {
   for (std::size_t i = 0; i < want.store.size(); ++i) {
     ASSERT_EQ(want.store[i].time, got.store[i].time) << i;
     ASSERT_EQ(want.store[i].type, got.store[i].type) << i;
-    ASSERT_EQ(want.store[i].detail, got.store[i].detail) << i;
+    ASSERT_EQ(want.store.detail(i), got.store.detail(i)) << i;
   }
   EXPECT_EQ(want.jobs.size(), got.jobs.size());
 }

@@ -106,10 +106,12 @@ TEST_P(RoundTrip, RecordFieldsSurvive) {
     EXPECT_LE(std::abs(a.time.usec - b.time.usec), tolerance_usec) << to_string(a.type);
     if (a.type == EventType::SedcReading) {
       EXPECT_NEAR(a.value, b.value, 5e-4);  // rendered with 3 decimals
-      EXPECT_EQ(a.detail, b.detail);
+      EXPECT_EQ(sim_->symbols.view(a.detail), parsed_->store.detail(b));
     }
     if (a.type == EventType::CallTrace) {
-      EXPECT_EQ(a.detail, b.detail);  // stack module must survive exactly
+      // Stack module must survive exactly (the two sides intern into
+      // different tables, so compare resolved text).
+      EXPECT_EQ(sim_->symbols.view(a.detail), parsed_->store.detail(b));
     }
   }
 }

@@ -1,0 +1,168 @@
+// Unit tests for logmodel::SymbolTable: dedup, view stability across arena
+// growth and moves, deep copies, and the absorb() shard-merge remap —
+// including the parallel-producer pattern the ingestion pipeline uses
+// (per-worker tables built concurrently, absorbed serially at retire time).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "logmodel/symbol_table.hpp"
+
+namespace hpcfail::logmodel {
+namespace {
+
+TEST(SymbolTableTest, EmptyStringIsSymbolZero) {
+  SymbolTable table;
+  EXPECT_EQ(table.size(), 1u);  // "" pre-interned
+  EXPECT_EQ(table.intern("").id, 0u);
+  EXPECT_EQ(table.view(Symbol{}), "");
+  EXPECT_EQ(Symbol{}.id, 0u);  // default-constructed records resolve to ""
+}
+
+TEST(SymbolTableTest, InternDeduplicates) {
+  SymbolTable table;
+  const Symbol a = table.intern("Fatal machine check");
+  const Symbol b = table.intern("Fatal machine check");
+  const Symbol c = table.intern("Fatal exception");
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_NE(a.id, c.id);
+  EXPECT_EQ(table.view(a), "Fatal machine check");
+  EXPECT_EQ(table.view(c), "Fatal exception");
+  EXPECT_EQ(table.size(), 3u);  // "", and the two distinct strings
+}
+
+TEST(SymbolTableTest, InternCopiesTheText) {
+  SymbolTable table;
+  std::string text = "transient buffer";
+  const Symbol s = table.intern(text);
+  text.assign(text.size(), 'x');  // clobber the source
+  EXPECT_EQ(table.view(s), "transient buffer");
+}
+
+TEST(SymbolTableTest, OutOfRangeSymbolResolvesEmpty) {
+  SymbolTable table;
+  EXPECT_EQ(table.view(Symbol{12345}), "");
+}
+
+TEST(SymbolTableTest, ViewsStableAcrossArenaGrowth) {
+  SymbolTable table;
+  const Symbol first = table.intern("pinned-early");
+  const std::string_view early = table.view(first);
+  const char* early_data = early.data();
+  // Far more than one 64 KiB arena block worth of distinct strings.
+  for (int i = 0; i < 20000; ++i) {
+    table.intern("filler-string-number-" + std::to_string(i));
+  }
+  EXPECT_EQ(table.view(first).data(), early_data);  // no reallocation moved it
+  EXPECT_EQ(table.view(first), "pinned-early");
+}
+
+TEST(SymbolTableTest, OversizedStringGetsOwnBlock) {
+  SymbolTable table;
+  const std::string big(200000, 'q');  // larger than the arena block size
+  const Symbol s = table.intern(big);
+  const Symbol after = table.intern("small-after-big");
+  EXPECT_EQ(table.view(s), big);
+  EXPECT_EQ(table.view(after), "small-after-big");
+  EXPECT_GE(table.bytes(), big.size());
+}
+
+TEST(SymbolTableTest, MoveKeepsViewsValid) {
+  SymbolTable table;
+  const Symbol s = table.intern("survives the move");
+  const char* data = table.view(s).data();
+  SymbolTable moved = std::move(table);
+  EXPECT_EQ(moved.view(s).data(), data);
+  EXPECT_EQ(moved.view(s), "survives the move");
+  EXPECT_EQ(moved.intern("survives the move").id, s.id);  // map moved too
+}
+
+TEST(SymbolTableTest, DeepCopyPreservesIdsIndependently) {
+  SymbolTable table;
+  const Symbol a = table.intern("alpha");
+  const Symbol b = table.intern("beta");
+  const SymbolTable copy = table;
+  EXPECT_EQ(copy.view(a), "alpha");
+  EXPECT_EQ(copy.view(b), "beta");
+  EXPECT_EQ(copy.size(), table.size());
+  // Growth after the copy is independent.
+  table.intern("gamma");
+  EXPECT_EQ(table.size(), copy.size() + 1);
+  EXPECT_EQ(copy.view(Symbol{static_cast<std::uint32_t>(copy.size())}), "");
+}
+
+TEST(SymbolTableTest, AbsorbRemapsOverlappingAndNewStrings) {
+  SymbolTable dst;
+  const Symbol shared_dst = dst.intern("shared detail");
+
+  SymbolTable src;
+  const Symbol src_new = src.intern("only in src");
+  const Symbol src_shared = src.intern("shared detail");
+
+  const std::vector<Symbol> remap = dst.absorb(src);
+  ASSERT_EQ(remap.size(), src.size());
+  EXPECT_EQ(remap[0].id, 0u);  // "" maps to ""
+  EXPECT_EQ(remap[src_shared.id].id, shared_dst.id);  // dedup across tables
+  EXPECT_EQ(dst.view(remap[src_new.id]), "only in src");
+  // Absorbing again is idempotent on the table contents.
+  const std::size_t size_before = dst.size();
+  const std::vector<Symbol> again = dst.absorb(src);
+  EXPECT_EQ(dst.size(), size_before);
+  EXPECT_EQ(again[src_new.id].id, remap[src_new.id].id);
+}
+
+/// The ingestion pattern: N workers intern concurrently into worker-local
+/// tables (no shared state), then the tables are absorbed serially in a
+/// fixed order.  Every worker symbol must resolve to the same text through
+/// its remap, and shared strings must collapse to one merged id.
+TEST(SymbolTableTest, ParallelShardTablesMergeConsistently) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<SymbolTable> shard(kThreads);
+  std::vector<std::vector<Symbol>> produced(kThreads);
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &shard, &produced] {
+      produced[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        // Every third string is shared across all threads; the rest are
+        // thread-unique.
+        const std::string text =
+            i % 3 == 0 ? "common-" + std::to_string(i)
+                       : "thread-" + std::to_string(t) + "-" + std::to_string(i);
+        produced[t].push_back(shard[t].intern(text));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  SymbolTable merged;
+  std::vector<std::vector<Symbol>> remap(kThreads);
+  for (int t = 0; t < kThreads; ++t) remap[t] = merged.absorb(shard[t]);
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const std::string want =
+          i % 3 == 0 ? "common-" + std::to_string(i)
+                     : "thread-" + std::to_string(t) + "-" + std::to_string(i);
+      const Symbol m = remap[t][produced[t][i].id];
+      ASSERT_EQ(merged.view(m), want) << "thread " << t << " item " << i;
+      // Shared strings collapse: every thread's remap lands on thread 0's id.
+      if (i % 3 == 0) {
+        EXPECT_EQ(m.id, remap[0][shard[0].intern(want).id].id);
+      }
+    }
+  }
+  // Merged size: "", the shared strings, and kThreads * unique strings.
+  const std::size_t shared_count = (kPerThread + 2) / 3;
+  const std::size_t unique_count =
+      static_cast<std::size_t>(kThreads) * (kPerThread - shared_count);
+  EXPECT_EQ(merged.size(), 1 + shared_count + unique_count);
+}
+
+}  // namespace
+}  // namespace hpcfail::logmodel

@@ -15,6 +15,12 @@ using logmodel::LogRecord;
 
 const util::TimePoint kBase = util::make_time(2015, 3, 2);
 
+/// Shared interner for the synthetic records; each store gets a copy.
+logmodel::SymbolTable& test_symbols() {
+  static logmodel::SymbolTable table;
+  return table;
+}
+
 LogRecord rec(util::Duration offset, EventType type, std::uint32_t node,
               std::string detail = {}) {
   LogRecord r;
@@ -22,7 +28,7 @@ LogRecord rec(util::Duration offset, EventType type, std::uint32_t node,
   r.type = type;
   r.node = platform::NodeId{node};
   r.blade = platform::BladeId{node / 4};
-  r.detail = std::move(detail);
+  r.detail = test_symbols().intern(detail);
   return r;
 }
 
@@ -32,7 +38,7 @@ TEST(TimelineTest, StatesFollowMarkers) {
   records.push_back(rec(util::Duration::hours(3), EventType::NodeBoot, 1));
   records.push_back(rec(util::Duration::hours(5), EventType::NhcSuspectMode, 1));
   records.push_back(rec(util::Duration::hours(6), EventType::NodeBoot, 1));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const TimelineBuilder builder(store, 4);
   const auto timeline =
       builder.build(platform::NodeId{1}, kBase, kBase + util::Duration::hours(10));
@@ -53,7 +59,7 @@ TEST(TimelineTest, FleetAvailability) {
   records.push_back(rec(util::Duration::hours(4), EventType::NodeShutdown, 1));
   records.push_back(rec(util::Duration::hours(6), EventType::NodeBoot, 1));
   records.push_back(rec(util::Duration::hours(1), EventType::HardwareError, 2));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const TimelineBuilder builder(store, 4);  // 4-node fleet
   const auto fleet =
       builder.fleet_availability(kBase, kBase + util::Duration::hours(10));
@@ -66,7 +72,7 @@ TEST(TimelineTest, FleetAvailability) {
 TEST(TimelineTest, OpenDownIntervalHasNoRepairTime) {
   std::vector<LogRecord> records;
   records.push_back(rec(util::Duration::hours(9), EventType::KernelPanic, 1));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const TimelineBuilder builder(store, 1);
   const auto fleet = builder.fleet_availability(kBase, kBase + util::Duration::hours(10));
   EXPECT_EQ(fleet.down_intervals, 1u);
@@ -79,7 +85,7 @@ TEST(TimelineTest, SuspectThenDownThenRecovered) {
   records.push_back(rec(util::Duration::hours(1), EventType::NhcSuspectMode, 1));
   records.push_back(rec(util::Duration::hours(2), EventType::NodeHalt, 1));
   records.push_back(rec(util::Duration::hours(3), EventType::NodeBoot, 1));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const TimelineBuilder builder(store, 4);
   const auto timeline =
       builder.build(platform::NodeId{1}, kBase, kBase + util::Duration::hours(4));
@@ -95,7 +101,7 @@ TEST(TimelineTest, MaintenanceShutdownIsNotDowntime) {
   records.push_back(rec(util::Duration::hours(2), EventType::NodeShutdown, 1,
                         "scheduled maintenance shutdown"));
   records.push_back(rec(util::Duration::hours(6), EventType::NodeBoot, 1));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const TimelineBuilder builder(store, 1);
   const auto fleet = builder.fleet_availability(kBase, kBase + util::Duration::hours(10));
   EXPECT_DOUBLE_EQ(fleet.availability, 1.0);
@@ -108,7 +114,7 @@ TEST(DetectorExclusionTest, IntendedShutdownsExcluded) {
       rec(util::Duration::hours(1), EventType::NodeShutdown, 1, "scheduled maintenance shutdown"));
   records.push_back(rec(util::Duration::hours(2), EventType::NodeShutdown, 2,
                         "anomalous shutdown"));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const auto detection = FailureDetector().detect_full(store, nullptr);
   EXPECT_EQ(detection.failures.size(), 1u);
   EXPECT_EQ(detection.failures[0].node.value, 2u);
@@ -124,7 +130,7 @@ TEST(DetectorExclusionTest, SwoClusterExcluded) {
   }
   // A lone genuine failure hours later.
   records.push_back(rec(util::Duration::hours(5), EventType::KernelPanic, 99));
-  const logmodel::LogStore store{std::move(records)};
+  const logmodel::LogStore store{std::move(records), test_symbols()};
   const auto detection = FailureDetector().detect_full(store, nullptr);
   ASSERT_EQ(detection.swos.size(), 1u);
   EXPECT_EQ(detection.swos[0].nodes, 80u);

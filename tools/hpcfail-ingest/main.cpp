@@ -41,7 +41,7 @@ void usage(std::FILE* to) {
       "  --days N           simulated days for --preset (default 7)\n"
       "  --seed N           simulation seed for --preset (default 42)\n"
       "  --threads N        pool threads (default: hardware concurrency)\n"
-      "  --chunk-bytes N    chunk size in bytes (default 1 MiB)\n"
+      "  --chunk-bytes N    chunk size in bytes (default 256 KiB)\n"
       "  --shard-records N  records per store shard (default 65536)\n"
       "  --keep             keep the --preset temp directory\n"
       "  --metrics-out F    write pipeline counters/histograms to F (JSON)\n"
