@@ -138,8 +138,10 @@ void ingest_parallel_source(std::istream& in, LineParseFn parse, const ParseCont
   std::string chunk;
   try {
     while (read_next(chunk)) {
+      // ctx is captured by value (four words): a queued task must not hold
+      // references into this frame once an exception starts unwinding it.
       pending.push_back(
-          pool.submit([text = std::move(chunk), parse, &ctx]() -> ChunkResult {
+          pool.submit([text = std::move(chunk), parse, ctx]() -> ChunkResult {
             util::TraceSpan span("hpcfail.ingest.parse_chunk");
             ChunkResult r;
             ParseContext local = ctx;
@@ -161,7 +163,9 @@ void ingest_parallel_source(std::istream& in, LineParseFn parse, const ParseCont
     }
     while (!pending.empty()) retire_front();
   } catch (...) {
-    // Queued tasks reference ctx on this frame; join them before unwinding.
+    // Tasks capture everything by value, so nothing dangles — but join
+    // anyway so an ingest error doesn't leave parse work running after the
+    // caller regains control.
     for (auto& f : pending) {
       if (f.valid()) f.wait();
     }
