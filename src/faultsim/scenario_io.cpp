@@ -13,92 +13,101 @@ namespace {
 
 struct DoubleKey {
   const char* name;
-  std::function<double&(ScenarioConfig&)> ref;
+  std::function<double(const ScenarioConfig&)> get;  ///< dump path (const)
+  std::function<double&(ScenarioConfig&)> set;       ///< parse path
 };
+
+/// Builds both sides of a DoubleKey from one generic field accessor, so each
+/// knob is still spelled once and the dump path needs no const_cast.
+template <typename Accessor>
+DoubleKey make_key(const char* name, Accessor field) {
+  return {name, [field](const ScenarioConfig& c) -> double { return field(c); },
+          [field](ScenarioConfig& c) -> double& { return field(c); }};
+}
 
 /// Single registry of every double-valued knob; drives dump and parse.
 const std::vector<DoubleKey>& double_keys() {
   static const std::vector<DoubleKey> keys = {
-      {"failures.failure_day_fraction",
-       [](ScenarioConfig& c) -> double& { return c.failures.failure_day_fraction; }},
-      {"failures.extra_bursts_mean",
-       [](ScenarioConfig& c) -> double& { return c.failures.extra_bursts_mean; }},
-      {"failures.dominant_burst_mean",
-       [](ScenarioConfig& c) -> double& { return c.failures.dominant_burst_mean; }},
-      {"failures.burst_spread_minutes",
-       [](ScenarioConfig& c) -> double& { return c.failures.burst_spread_minutes; }},
-      {"failures.isolated_failures_per_day",
-       [](ScenarioConfig& c) -> double& { return c.failures.isolated_failures_per_day; }},
-      {"failures.external_lead_min_minutes",
-       [](ScenarioConfig& c) -> double& { return c.failures.external_lead_min_minutes; }},
-      {"failures.external_lead_max_minutes",
-       [](ScenarioConfig& c) -> double& { return c.failures.external_lead_max_minutes; }},
-      {"failures.internal_lead_min_minutes",
-       [](ScenarioConfig& c) -> double& { return c.failures.internal_lead_min_minutes; }},
-      {"failures.internal_lead_max_minutes",
-       [](ScenarioConfig& c) -> double& { return c.failures.internal_lead_max_minutes; }},
-      {"failures.blade_fault_near_failure_p",
-       [](ScenarioConfig& c) -> double& { return c.failures.blade_fault_near_failure_p; }},
-      {"failures.cabinet_fault_near_failure_p",
-       [](ScenarioConfig& c) -> double& { return c.failures.cabinet_fault_near_failure_p; }},
-      {"failures.hw_burst_same_blade_p",
-       [](ScenarioConfig& c) -> double& { return c.failures.hw_burst_same_blade_p; }},
-      {"benign.benign_nhf_per_day",
-       [](ScenarioConfig& c) -> double& { return c.benign.benign_nhf_per_day; }},
-      {"benign.nhf_power_off_fraction",
-       [](ScenarioConfig& c) -> double& { return c.benign.nhf_power_off_fraction; }},
-      {"benign.benign_nvf_per_month",
-       [](ScenarioConfig& c) -> double& { return c.benign.benign_nvf_per_month; }},
-      {"benign.deviant_blade_fraction",
-       [](ScenarioConfig& c) -> double& { return c.benign.deviant_blade_fraction; }},
-      {"benign.sedc_sample_interval_minutes",
-       [](ScenarioConfig& c) -> double& { return c.benign.sedc_sample_interval_minutes; }},
-      {"benign.transient_sedc_warnings_per_day",
-       [](ScenarioConfig& c) -> double& { return c.benign.transient_sedc_warnings_per_day; }},
-      {"benign.cabinet_faults_per_day",
-       [](ScenarioConfig& c) -> double& { return c.benign.cabinet_faults_per_day; }},
-      {"benign.benign_hw_error_nodes_per_day",
-       [](ScenarioConfig& c) -> double& { return c.benign.benign_hw_error_nodes_per_day; }},
-      {"benign.benign_mce_nodes_per_day",
-       [](ScenarioConfig& c) -> double& { return c.benign.benign_mce_nodes_per_day; }},
-      {"benign.benign_lustre_nodes_per_day",
-       [](ScenarioConfig& c) -> double& { return c.benign.benign_lustre_nodes_per_day; }},
-      {"benign.benign_oom_nodes_per_day",
-       [](ScenarioConfig& c) -> double& { return c.benign.benign_oom_nodes_per_day; }},
-      {"benign.benign_sw_error_nodes_per_day",
-       [](ScenarioConfig& c) -> double& { return c.benign.benign_sw_error_nodes_per_day; }},
-      {"benign.multi_error_episode_nodes_per_day",
-       [](ScenarioConfig& c) -> double& {
+      make_key("failures.failure_day_fraction",
+       [](auto& c) -> auto& { return c.failures.failure_day_fraction; }),
+      make_key("failures.extra_bursts_mean",
+       [](auto& c) -> auto& { return c.failures.extra_bursts_mean; }),
+      make_key("failures.dominant_burst_mean",
+       [](auto& c) -> auto& { return c.failures.dominant_burst_mean; }),
+      make_key("failures.burst_spread_minutes",
+       [](auto& c) -> auto& { return c.failures.burst_spread_minutes; }),
+      make_key("failures.isolated_failures_per_day",
+       [](auto& c) -> auto& { return c.failures.isolated_failures_per_day; }),
+      make_key("failures.external_lead_min_minutes",
+       [](auto& c) -> auto& { return c.failures.external_lead_min_minutes; }),
+      make_key("failures.external_lead_max_minutes",
+       [](auto& c) -> auto& { return c.failures.external_lead_max_minutes; }),
+      make_key("failures.internal_lead_min_minutes",
+       [](auto& c) -> auto& { return c.failures.internal_lead_min_minutes; }),
+      make_key("failures.internal_lead_max_minutes",
+       [](auto& c) -> auto& { return c.failures.internal_lead_max_minutes; }),
+      make_key("failures.blade_fault_near_failure_p",
+       [](auto& c) -> auto& { return c.failures.blade_fault_near_failure_p; }),
+      make_key("failures.cabinet_fault_near_failure_p",
+       [](auto& c) -> auto& { return c.failures.cabinet_fault_near_failure_p; }),
+      make_key("failures.hw_burst_same_blade_p",
+       [](auto& c) -> auto& { return c.failures.hw_burst_same_blade_p; }),
+      make_key("benign.benign_nhf_per_day",
+       [](auto& c) -> auto& { return c.benign.benign_nhf_per_day; }),
+      make_key("benign.nhf_power_off_fraction",
+       [](auto& c) -> auto& { return c.benign.nhf_power_off_fraction; }),
+      make_key("benign.benign_nvf_per_month",
+       [](auto& c) -> auto& { return c.benign.benign_nvf_per_month; }),
+      make_key("benign.deviant_blade_fraction",
+       [](auto& c) -> auto& { return c.benign.deviant_blade_fraction; }),
+      make_key("benign.sedc_sample_interval_minutes",
+       [](auto& c) -> auto& { return c.benign.sedc_sample_interval_minutes; }),
+      make_key("benign.transient_sedc_warnings_per_day",
+       [](auto& c) -> auto& { return c.benign.transient_sedc_warnings_per_day; }),
+      make_key("benign.cabinet_faults_per_day",
+       [](auto& c) -> auto& { return c.benign.cabinet_faults_per_day; }),
+      make_key("benign.benign_hw_error_nodes_per_day",
+       [](auto& c) -> auto& { return c.benign.benign_hw_error_nodes_per_day; }),
+      make_key("benign.benign_mce_nodes_per_day",
+       [](auto& c) -> auto& { return c.benign.benign_mce_nodes_per_day; }),
+      make_key("benign.benign_lustre_nodes_per_day",
+       [](auto& c) -> auto& { return c.benign.benign_lustre_nodes_per_day; }),
+      make_key("benign.benign_oom_nodes_per_day",
+       [](auto& c) -> auto& { return c.benign.benign_oom_nodes_per_day; }),
+      make_key("benign.benign_sw_error_nodes_per_day",
+       [](auto& c) -> auto& { return c.benign.benign_sw_error_nodes_per_day; }),
+      make_key("benign.multi_error_episode_nodes_per_day",
+       [](auto& c) -> auto& {
          return c.benign.multi_error_episode_nodes_per_day;
-       }},
-      {"benign.multi_error_external_fraction",
-       [](ScenarioConfig& c) -> double& { return c.benign.multi_error_external_fraction; }},
-      {"benign.background_ec_hw_errors_per_day",
-       [](ScenarioConfig& c) -> double& { return c.benign.background_ec_hw_errors_per_day; }},
-      {"benign.hung_task_nodes_per_day",
-       [](ScenarioConfig& c) -> double& { return c.benign.hung_task_nodes_per_day; }},
-      {"benign.maintenance_windows_per_month",
-       [](ScenarioConfig& c) -> double& { return c.benign.maintenance_windows_per_month; }},
-      {"benign.swo_per_month",
-       [](ScenarioConfig& c) -> double& { return c.benign.swo_per_month; }},
-      {"benign.swo_node_fraction",
-       [](ScenarioConfig& c) -> double& { return c.benign.swo_node_fraction; }},
-      {"benign.routine_chatter_lines_per_day",
-       [](ScenarioConfig& c) -> double& { return c.benign.routine_chatter_lines_per_day; }},
-      {"benign.lane_degrades_per_day",
-       [](ScenarioConfig& c) -> double& { return c.benign.lane_degrades_per_day; }},
-      {"benign.failover_failure_fraction",
-       [](ScenarioConfig& c) -> double& { return c.benign.failover_failure_fraction; }},
-      {"sensors.reading_interval_minutes",
-       [](ScenarioConfig& c) -> double& { return c.sensors.reading_interval_minutes; }},
-      {"workload.arrivals_per_hour",
-       [](ScenarioConfig& c) -> double& { return c.workload.arrivals_per_hour; }},
-      {"workload.duration_lognorm_mu",
-       [](ScenarioConfig& c) -> double& { return c.workload.duration_lognorm_mu; }},
-      {"workload.duration_lognorm_sigma",
-       [](ScenarioConfig& c) -> double& { return c.workload.duration_lognorm_sigma; }},
-      {"workload.blade_packed_fraction",
-       [](ScenarioConfig& c) -> double& { return c.workload.blade_packed_fraction; }},
+       }),
+      make_key("benign.multi_error_external_fraction",
+       [](auto& c) -> auto& { return c.benign.multi_error_external_fraction; }),
+      make_key("benign.background_ec_hw_errors_per_day",
+       [](auto& c) -> auto& { return c.benign.background_ec_hw_errors_per_day; }),
+      make_key("benign.hung_task_nodes_per_day",
+       [](auto& c) -> auto& { return c.benign.hung_task_nodes_per_day; }),
+      make_key("benign.maintenance_windows_per_month",
+       [](auto& c) -> auto& { return c.benign.maintenance_windows_per_month; }),
+      make_key("benign.swo_per_month",
+       [](auto& c) -> auto& { return c.benign.swo_per_month; }),
+      make_key("benign.swo_node_fraction",
+       [](auto& c) -> auto& { return c.benign.swo_node_fraction; }),
+      make_key("benign.routine_chatter_lines_per_day",
+       [](auto& c) -> auto& { return c.benign.routine_chatter_lines_per_day; }),
+      make_key("benign.lane_degrades_per_day",
+       [](auto& c) -> auto& { return c.benign.lane_degrades_per_day; }),
+      make_key("benign.failover_failure_fraction",
+       [](auto& c) -> auto& { return c.benign.failover_failure_fraction; }),
+      make_key("sensors.reading_interval_minutes",
+       [](auto& c) -> auto& { return c.sensors.reading_interval_minutes; }),
+      make_key("workload.arrivals_per_hour",
+       [](auto& c) -> auto& { return c.workload.arrivals_per_hour; }),
+      make_key("workload.duration_lognorm_mu",
+       [](auto& c) -> auto& { return c.workload.duration_lognorm_mu; }),
+      make_key("workload.duration_lognorm_sigma",
+       [](auto& c) -> auto& { return c.workload.duration_lognorm_sigma; }),
+      make_key("workload.blade_packed_fraction",
+       [](auto& c) -> auto& { return c.workload.blade_packed_fraction; }),
   };
   return keys;
 }
@@ -132,10 +141,8 @@ std::string scenario_to_string(const ScenarioConfig& config) {
       << "topology.nodes_per_slot = " << topo.nodes_per_slot << '\n'
       << "topology.max_nodes = " << topo.max_nodes << '\n';
 
-  // Const-cast is safe: the registry's references only read here.
-  auto& mutable_config = const_cast<ScenarioConfig&>(config);
   for (const auto& key : double_keys()) {
-    out << key.name << " = " << key.ref(mutable_config) << '\n';
+    out << key.name << " = " << key.get(config) << '\n';
   }
   for (std::size_t i = 0; i < logmodel::kRootCauseCount; ++i) {
     const double w = config.failures.cause_weights[i];
@@ -251,7 +258,7 @@ void apply_scenario_overrides(ScenarioConfig& config, const std::string& text) {
       if (key == dk.name) {
         const auto v = util::parse_double(value);
         if (!v) throw bad_value();
-        dk.ref(config) = *v;
+        dk.set(config) = *v;
         matched = true;
         break;
       }
