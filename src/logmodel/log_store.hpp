@@ -39,28 +39,43 @@ class LogStore {
   /// and before any query. Idempotent.
   void finalize();
 
+  // The accessors below are deliberately unguarded: they are noexcept
+  // hot-path reads whose results (sizes, raw rows, interned text) are
+  // well-defined on a non-finalized store too — only ORDER and the derived
+  // indexes need finalize(), and everything order-dependent goes through
+  // require_finalized() in log_store.cpp.  Each carries a reasoned
+  // allow(finalize-protocol) so a new accessor cannot join them silently.
   [[nodiscard]] bool finalized() const noexcept { return finalized_; }
+  // hpcfail-lint: allow(finalize-protocol) -- count is order-independent; noexcept hot path
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  // hpcfail-lint: allow(finalize-protocol) -- raw row read, order-independent; noexcept hot path
   [[nodiscard]] const LogRecord& operator[](std::size_t i) const noexcept { return records_[i]; }
+  // hpcfail-lint: allow(finalize-protocol) -- raw row access, order-independent; noexcept hot path
   [[nodiscard]] const std::vector<LogRecord>& records() const noexcept { return records_; }
 
   /// The table resolving every record's detail Symbol.
+  // hpcfail-lint: allow(finalize-protocol) -- symbol table is valid before finalize()
   [[nodiscard]] const SymbolTable& symbols() const noexcept { return symbols_; }
 
   /// Columnar views over the sorted records: times()[i] is
   /// records()[i].time.usec, types()[i] is records()[i].type.  Dense
   /// arrays for scans that only need one field.
+  // hpcfail-lint: allow(finalize-protocol) -- empty until finalize() rebuilds the column; never stale
   [[nodiscard]] std::span<const std::int64_t> times() const noexcept { return times_; }
+  // hpcfail-lint: allow(finalize-protocol) -- empty until finalize() rebuilds the column; never stale
   [[nodiscard]] std::span<const EventType> types() const noexcept { return types_; }
 
   /// Interns text into this store's table (for records about to be add()ed).
+  // hpcfail-lint: allow(finalize-protocol) -- interning is part of building, pre-finalize by design
   Symbol intern(std::string_view text) { return symbols_.intern(text); }
 
   /// Resolves a record's detail Symbol; the view is valid while the store
   /// lives.  The record must belong to this store.
+  // hpcfail-lint: allow(finalize-protocol) -- symbol lookup is order-independent; noexcept hot path
   [[nodiscard]] std::string_view detail(const LogRecord& r) const noexcept {
     return symbols_.view(r.detail);
   }
+  // hpcfail-lint: allow(finalize-protocol) -- symbol lookup is order-independent; noexcept hot path
   [[nodiscard]] std::string_view detail(std::size_t i) const noexcept {
     return symbols_.view(records_[i].detail);
   }
@@ -78,6 +93,7 @@ class LogStore {
     const LogStore* store_;
     std::size_t index_;
   };
+  // hpcfail-lint: allow(finalize-protocol) -- bundles two order-independent reads; noexcept hot path
   [[nodiscard]] Row row(std::size_t i) const noexcept { return Row(*this, i); }
 
   [[nodiscard]] util::TimePoint first_time() const;

@@ -56,7 +56,9 @@ ParsedCorpus parse_corpus(const loggen::Corpus& corpus, util::ThreadPool* pool) 
     std::vector<std::vector<LogRecord>> shard_records((lines.size() + chunk - 1) / chunk);
     std::vector<logmodel::SymbolTable> shard_symbols(shard_records.size());
     workers.parallel_for_ranges(
-        shard_records.size(), [&](std::size_t begin_shard, std::size_t end_shard) {
+        shard_records.size(),
+        // hpcfail-lint: allow(capture-lifetime) -- parallel_for_ranges joins every shard before returning
+        [&](std::size_t begin_shard, std::size_t end_shard) {
           for (std::size_t s = begin_shard; s < end_shard; ++s) {
             const std::size_t lo = s * chunk;
             const std::size_t hi = std::min(lines.size(), lo + chunk);

@@ -122,6 +122,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  // hpcfail-lint: allow(capture-lifetime) -- parallel_for_ranges joins every chunk before returning
   parallel_for_ranges(n, [&fn](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
   });
@@ -137,6 +138,7 @@ void ThreadPool::parallel_for_ranges(
   futures.reserve((n + chunk - 1) / chunk);
   for (std::size_t begin = 0; begin < n; begin += chunk) {
     const std::size_t end = std::min(n, begin + chunk);
+    // hpcfail-lint: allow(capture-lifetime) -- the join loop below waits out every chunk; &fn is pinned until then
     futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
   }
   // Wait for EVERY chunk before rethrowing: the tasks capture `fn` by

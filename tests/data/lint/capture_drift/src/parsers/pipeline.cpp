@@ -1,0 +1,25 @@
+// Fixture: by-reference captures queued into the pool must be rejected.
+#include <cstddef>
+
+struct Pool {
+  template <typename F> int submit(F f) { return f(), 0; }
+  template <typename F> void parallel_for_ranges(std::size_t n, F f) { f(0, n); }
+};
+
+void drifted(Pool& pool) {
+  int total = 0;
+  pool.submit([&total] { total += 1; });
+  pool.parallel_for_ranges(4, [&](std::size_t b, std::size_t e) { total += int(e - b); });
+}
+
+void tolerated(Pool& pool) {
+  int total = 0;
+  // hpcfail-lint: allow(capture-lifetime) -- joined before return in this fixture
+  pool.submit([&total] { total += 1; });
+}
+
+void rejected(Pool& pool) {
+  int total = 0;
+  // hpcfail-lint: allow(capture-lifetime)
+  pool.submit([&total] { total += 1; });
+}

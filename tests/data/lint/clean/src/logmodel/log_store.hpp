@@ -1,0 +1,24 @@
+// Fixture: every public accessor guards the finalize protocol (clean).
+#pragma once
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace hpcfail::logmodel {
+
+class LogStore {
+ public:
+  void add(int r) { finalized_ = false; records_.push_back(r); }
+  void finalize() { finalized_ = true; }
+  bool finalized() const { return finalized_; }
+  std::size_t size() const { require_finalized(); return records_.size(); }
+
+ private:
+  void require_finalized() const {
+    if (!finalized_) throw std::logic_error("LogStore: non-finalized query");
+  }
+  std::vector<int> records_;
+  bool finalized_ = false;
+};
+
+}  // namespace hpcfail::logmodel

@@ -1,0 +1,7 @@
+#include "logmodel/log_store.hpp"
+
+namespace hpcfail::logmodel {
+
+void LogStore::finalize() { finalized_ = true; }
+
+}  // namespace hpcfail::logmodel

@@ -1,0 +1,24 @@
+// Fixture: unguarded public accessors on the finalize protocol.
+#pragma once
+#include <cstddef>
+#include <vector>
+
+namespace hpcfail::logmodel {
+
+class LogStore {
+ public:
+  void add(int r) { finalized_ = false; records_.push_back(r); }
+  void finalize();
+  bool finalized() const { return finalized_; }
+  std::size_t size() const { return records_.size(); }
+  // hpcfail-lint: allow(finalize-protocol) -- order-independent read, tolerated in this fixture
+  int first() const { return records_.front(); }
+  // hpcfail-lint: allow(finalize-protocol)
+  int last() const { return records_.back(); }
+
+ private:
+  std::vector<int> records_;
+  bool finalized_ = false;
+};
+
+}  // namespace hpcfail::logmodel

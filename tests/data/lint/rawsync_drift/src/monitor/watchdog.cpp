@@ -1,0 +1,23 @@
+// Fixture: raw concurrency/ownership primitives outside src/util.
+#include <thread>
+
+void drifted() {
+  std::thread t([] {});
+  t.detach();
+  int* leak = new int(7);
+  const int frozen = 3;
+  int* thawed = const_cast<int*>(&frozen);
+  *thawed = *leak;
+}
+
+void tolerated() {
+  // hpcfail-lint: allow(raw-sync) -- fixture exercises the reasoned allow
+  std::thread t([] {});
+  t.join();
+}
+
+void rejected() {
+  // hpcfail-lint: allow(raw-sync)
+  int* p = new int(1);
+  delete p;
+}

@@ -1,0 +1,34 @@
+// Fixture: views escaping their owning storage must be rejected.
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+struct LogStore {
+  std::span<const int> times() const { return {}; }
+};
+
+std::string_view bad_name() {
+  std::string name = "nid00001";
+  return name;
+}
+
+std::span<const int> bad_ids(std::vector<int> ids) {
+  return ids;
+}
+
+std::span<const int> bad_times() {
+  return LogStore().times();
+}
+
+std::string_view tolerated() {
+  static const std::string name = "nid00001";
+  // hpcfail-lint: allow(dangling-view) -- static storage outlives every caller
+  return name;
+}
+
+std::string_view rejected() {
+  static const std::string name = "nid00001";
+  // hpcfail-lint: allow(dangling-view)
+  return name;
+}

@@ -5,15 +5,28 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "baseline.hpp"
 #include "lint.hpp"
+#include "sarif.hpp"
+#include "support/json.hpp"
 
 namespace {
 
+using hpcfail::lint::apply_baseline;
+using hpcfail::lint::BaselineEntry;
+using hpcfail::lint::load_baseline;
+using hpcfail::lint::render_baseline;
 using hpcfail::lint::Report;
 using hpcfail::lint::run_checks;
+using hpcfail::lint::to_sarif;
+using hpcfail::test::JsonValue;
+using hpcfail::test::parse_json;
 
 std::filesystem::path fixture(const char* name) {
   return std::filesystem::path(HPCFAIL_LINT_FIXTURES) / name;
@@ -137,10 +150,228 @@ TEST(LintMetricNaming, DriftedInstrumentNamesAreDiagnosedExactly) {
             }));
 }
 
+TEST(LintCaptureLifetime, ByRefCapturesIntoPoolSinksAreDiagnosedExactly) {
+  const Report report = run_checks(fixture("capture_drift"), {"capture-lifetime"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/parsers/pipeline.cpp:11: error: [capture-lifetime] lambda passed "
+                "to ThreadPool::submit() captures by reference; a queued task can "
+                "outlive the enclosing scope (the PR 1 use-after-scope class) — "
+                "capture by value/move or justify with allow(capture-lifetime)",
+                "src/parsers/pipeline.cpp:12: error: [capture-lifetime] lambda passed "
+                "to ThreadPool::parallel_for_ranges() captures by reference; a queued "
+                "task can outlive the enclosing scope (the PR 1 use-after-scope "
+                "class) — capture by value/move or justify with "
+                "allow(capture-lifetime)",
+                "src/parsers/pipeline.cpp:24: error: [capture-lifetime] lambda passed "
+                "to ThreadPool::submit() captures by reference; a queued task can "
+                "outlive the enclosing scope (the PR 1 use-after-scope class) — "
+                "capture by value/move or justify with allow(capture-lifetime)",
+                "src/parsers/pipeline.cpp:23: error: [capture-lifetime] "
+                "allow(capture-lifetime) suppression is missing its reason; write: "
+                "// hpcfail-lint: allow(capture-lifetime) -- <why this is safe>",
+            }));
+}
+
+TEST(LintDanglingView, EscapingViewsAndTemporaryBindingsAreDiagnosedExactly) {
+  const Report report = run_checks(fixture("view_drift"), {"dangling-view"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/logmodel/views.cpp:13: error: [dangling-view] 'bad_name' returns "
+                "a std::string_view derived from local/parameter 'name'; the view "
+                "dangles when the function returns (the PR 5 hazard class) — return "
+                "an owning type or a view of caller-owned data",
+                "src/logmodel/views.cpp:17: error: [dangling-view] 'bad_ids' returns "
+                "a std::span derived from local/parameter 'ids'; the view dangles "
+                "when the function returns (the PR 5 hazard class) — return an owning "
+                "type or a view of caller-owned data",
+                "src/logmodel/views.cpp:33: error: [dangling-view] 'rejected' returns "
+                "a std::string_view derived from local/parameter 'name'; the view "
+                "dangles when the function returns (the PR 5 hazard class) — return "
+                "an owning type or a view of caller-owned data",
+                "src/logmodel/views.cpp:32: error: [dangling-view] "
+                "allow(dangling-view) suppression is missing its reason; write: "
+                "// hpcfail-lint: allow(dangling-view) -- <why this is safe>",
+                "src/logmodel/views.cpp:21: error: [dangling-view] binds 'times()' "
+                "off a temporary LogStore; the view dangles at the end of the full "
+                "expression (the PR 5 hazard class) — name the LogStore first",
+            }));
+}
+
+TEST(LintFinalizeProtocol, UnguardedPublicAccessorsAreDiagnosedExactly) {
+  const Report report = run_checks(fixture("finalize_drift"), {"finalize-protocol"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/logmodel/log_store.hpp:13: error: [finalize-protocol] public "
+                "LogStore::size() reads store state without a "
+                "require_finalized()/finalized() guard and LogStore does not fail "
+                "loud at construction; throw std::logic_error on non-finalized "
+                "access or justify with allow(finalize-protocol)",
+                "src/logmodel/log_store.hpp:17: error: [finalize-protocol] public "
+                "LogStore::last() reads store state without a "
+                "require_finalized()/finalized() guard and LogStore does not fail "
+                "loud at construction; throw std::logic_error on non-finalized "
+                "access or justify with allow(finalize-protocol)",
+                "src/logmodel/log_store.hpp:16: error: [finalize-protocol] "
+                "allow(finalize-protocol) suppression is missing its reason; write: "
+                "// hpcfail-lint: allow(finalize-protocol) -- <why this is safe>",
+            }));
+}
+
+TEST(LintRawSync, BareConcurrencyAndOwnershipPrimitivesAreDiagnosedExactly) {
+  const Report report = run_checks(fixture("rawsync_drift"), {"raw-sync"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/monitor/watchdog.cpp:5: error: [raw-sync] bare std::thread "
+                "outside src/util; route concurrency through util::ThreadPool "
+                "(instrumented, exception-joining) or justify with allow(raw-sync)",
+                "src/monitor/watchdog.cpp:6: error: [raw-sync] detach() leaves a "
+                "task running past its owner's lifetime with no join point; submit "
+                "to util::ThreadPool and hold the future instead",
+                "src/monitor/watchdog.cpp:7: error: [raw-sync] raw `new` without an "
+                "owning smart pointer; use std::make_unique (or a container) so "
+                "ownership is explicit",
+                "src/monitor/watchdog.cpp:9: error: [raw-sync] const_cast subverts "
+                "the const contract of the API it touches; fix constness at the "
+                "interface or take an explicit copy",
+                "src/monitor/watchdog.cpp:21: error: [raw-sync] raw `new` without an "
+                "owning smart pointer; use std::make_unique (or a container) so "
+                "ownership is explicit",
+                "src/monitor/watchdog.cpp:20: error: [raw-sync] allow(raw-sync) "
+                "suppression is missing its reason; write: // hpcfail-lint: "
+                "allow(raw-sync) -- <why this is safe>",
+            }));
+}
+
+// A reasoned allow suppresses exactly its finding: the tolerated() cases in
+// every drift fixture carry `allow(<check>) -- <reason>` and none of the
+// pinned diagnostics above mention their lines.  This locks the other half
+// of the contract: a reasonless allow never suppresses, and is itself
+// diagnosed, in every one of the four fixtures.
+TEST(LintSuppressions, ReasonlessAllowNeverSuppresses) {
+  const std::vector<std::pair<const char*, const char*>> cases = {
+      {"capture_drift", "capture-lifetime"},
+      {"view_drift", "dangling-view"},
+      {"finalize_drift", "finalize-protocol"},
+      {"rawsync_drift", "raw-sync"},
+  };
+  for (const auto& [name, check] : cases) {
+    SCOPED_TRACE(name);
+    const Report report = run_checks(fixture(name), {check});
+    bool saw_missing_reason = false;
+    for (const auto& d : report.diagnostics) {
+      if (d.message.find("suppression is missing its reason") != std::string::npos) {
+        saw_missing_reason = true;
+      }
+    }
+    EXPECT_TRUE(saw_missing_reason);
+  }
+}
+
+TEST(LintSarif, ReportRendersAsWellFormedSarif210) {
+  const Report report = run_checks(fixture("rawsync_drift"), {"raw-sync"});
+  ASSERT_FALSE(report.diagnostics.empty());
+
+  const JsonValue doc = parse_json(to_sarif(report));
+  ASSERT_EQ(doc.kind, JsonValue::Kind::Object);
+  ASSERT_NE(doc.find("version"), nullptr);
+  EXPECT_EQ(doc.find("version")->text, "2.1.0");
+  ASSERT_NE(doc.find("$schema"), nullptr);
+
+  const JsonValue* runs = doc.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->array.size(), 1u);
+  const JsonValue& run = runs->array[0];
+
+  const JsonValue* tool = run.find("tool");
+  ASSERT_NE(tool, nullptr);
+  const JsonValue* driver = tool->find("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(driver->find("name")->text, "hpcfail-lint");
+
+  // One rule per registered check, ids matching the registry.
+  const JsonValue* rules = driver->find("rules");
+  ASSERT_NE(rules, nullptr);
+  std::set<std::string> rule_ids;
+  for (const auto& rule : rules->array) {
+    ASSERT_NE(rule.find("id"), nullptr);
+    ASSERT_NE(rule.find("shortDescription"), nullptr);
+    rule_ids.insert(rule.find("id")->text);
+  }
+  for (const auto& name : hpcfail::lint::all_check_names()) {
+    EXPECT_TRUE(rule_ids.count(name)) << name;
+  }
+
+  // One result per diagnostic, in order, with matching location/level.
+  const JsonValue* results = run.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), report.diagnostics.size());
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const auto& d = report.diagnostics[i];
+    const JsonValue& r = results->array[i];
+    EXPECT_EQ(r.find("ruleId")->text, d.check);
+    EXPECT_EQ(r.find("level")->text, "error");
+    EXPECT_EQ(r.find("message")->find("text")->text, d.message);
+    const JsonValue& loc = r.find("locations")->array.at(0);
+    const JsonValue* phys = loc.find("physicalLocation");
+    ASSERT_NE(phys, nullptr);
+    EXPECT_EQ(phys->find("artifactLocation")->find("uri")->text, d.file);
+    EXPECT_EQ(phys->find("region")->find("startLine")->number,
+              static_cast<double>(d.line));
+  }
+}
+
+TEST(LintBaseline, BaselinedFindingsAreSuppressedAndStaleEntriesSurface) {
+  Report report = run_checks(fixture("rawsync_drift"), {"raw-sync"});
+  const std::size_t total = report.diagnostics.size();
+  ASSERT_GE(total, 2u);
+
+  // Baseline the first finding (by its line-free key) plus a stale entry.
+  std::vector<BaselineEntry> baseline;
+  baseline.push_back({report.diagnostics[0].file, report.diagnostics[0].check,
+                      report.diagnostics[0].message});
+  baseline.push_back({"src/gone.cpp", "raw-sync", "finding that no longer exists"});
+
+  const auto result = apply_baseline(report, baseline);
+  EXPECT_EQ(result.suppressed, 1u);
+  EXPECT_EQ(report.diagnostics.size(), total - 1);
+  ASSERT_EQ(result.stale_keys.size(), 1u);
+  EXPECT_EQ(result.stale_keys[0],
+            "src/gone.cpp|raw-sync|finding that no longer exists");
+}
+
+TEST(LintBaseline, RoundTripsThroughRenderAndLoad) {
+  Report report = run_checks(fixture("capture_drift"), {"capture-lifetime"});
+  ASSERT_FALSE(report.diagnostics.empty());
+
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "hpcfail_lint_baseline.txt";
+  {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good());
+    out << render_baseline(report);
+  }
+
+  const auto entries = load_baseline(path);
+  EXPECT_FALSE(entries.empty());
+  const auto result = apply_baseline(report, entries);
+  EXPECT_TRUE(report.diagnostics.empty());  // everything baselined away
+  EXPECT_TRUE(result.stale_keys.empty());
+  EXPECT_TRUE(report.ok());
+  std::filesystem::remove(path);
+}
+
+TEST(LintBaseline, MissingBaselineFileIsAnEmptyBaseline) {
+  const auto entries = load_baseline("/nonexistent/hpcfail/baseline.txt");
+  EXPECT_TRUE(entries.empty());
+}
+
 TEST(LintClean, ConsistentFixtureTreePasses) {
   const Report report = run_checks(
-      fixture("clean"), {"erd-table", "event-names", "corpus-files", "banned-pattern",
-                         "header-hygiene", "bench-pipeline", "metric-naming"});
+      fixture("clean"),
+      {"erd-table", "event-names", "corpus-files", "banned-pattern",
+       "header-hygiene", "bench-pipeline", "metric-naming", "capture-lifetime",
+       "dangling-view", "finalize-protocol", "raw-sync"});
   EXPECT_TRUE(report.ok()) << (report.ok() ? std::string{}
                                            : rendered(report).front());
 }

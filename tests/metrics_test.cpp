@@ -24,11 +24,15 @@
 #include "faultsim/simulator.hpp"
 #include "loggen/corpus.hpp"
 #include "parsers/corpus_parser.hpp"
+#include "support/json.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
 
 namespace {
+
+using hpcfail::test::JsonValue;
+using hpcfail::test::parse_json;
 
 using hpcfail::util::Counter;
 using hpcfail::util::Gauge;
@@ -51,168 +55,6 @@ struct SinkGuard {
     install_trace(nullptr);
   }
 };
-
-// ---------------------------------------------------------------------------
-// Minimal JSON parser (objects keep key order so tests can assert sorting)
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;
-  std::vector<JsonValue> array;
-  std::vector<std::pair<std::string, JsonValue>> object;
-
-  [[nodiscard]] static JsonValue make_bool(bool b) {
-    JsonValue v;
-    v.kind = Kind::Bool;
-    v.boolean = b;
-    return v;
-  }
-
-  [[nodiscard]] const JsonValue* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : s_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    if (i_ != s_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("JSON error at offset " + std::to_string(i_) + ": " + why);
-  }
-  void skip_ws() {
-    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) ++i_;
-  }
-  char peek() {
-    skip_ws();
-    if (i_ >= s_.size()) fail("unexpected end");
-    return s_[i_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++i_;
-  }
-
-  JsonValue value() {
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string_value();
-      case 't': return literal("true", JsonValue::make_bool(true));
-      case 'f': return literal("false", JsonValue::make_bool(false));
-      case 'n': return literal("null", JsonValue{});
-      default: return number();
-    }
-  }
-
-  JsonValue literal(std::string_view word, JsonValue v) {
-    skip_ws();
-    if (s_.compare(i_, word.size(), word) != 0) fail("bad literal");
-    i_ += word.size();
-    return v;
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::Object;
-    if (peek() == '}') {
-      ++i_;
-      return v;
-    }
-    while (true) {
-      JsonValue key = string_value();
-      expect(':');
-      v.object.emplace_back(std::move(key.text), value());
-      if (peek() == ',') {
-        ++i_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::Array;
-    if (peek() == ']') {
-      ++i_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      if (peek() == ',') {
-        ++i_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  JsonValue string_value() {
-    expect('"');
-    JsonValue v;
-    v.kind = JsonValue::Kind::String;
-    while (true) {
-      if (i_ >= s_.size()) fail("unterminated string");
-      const char c = s_[i_++];
-      if (c == '"') return v;
-      if (c == '\\') {
-        if (i_ >= s_.size()) fail("dangling escape");
-        const char e = s_[i_++];
-        switch (e) {
-          case '"': v.text += '"'; break;
-          case '\\': v.text += '\\'; break;
-          case '/': v.text += '/'; break;
-          case 'n': v.text += '\n'; break;
-          case 't': v.text += '\t'; break;
-          default: fail("unsupported escape");
-        }
-      } else {
-        v.text += c;
-      }
-    }
-  }
-
-  JsonValue number() {
-    skip_ws();
-    const std::size_t start = i_;
-    if (i_ < s_.size() && (s_[i_] == '-' || s_[i_] == '+')) ++i_;
-    while (i_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[i_])) || s_[i_] == '.' ||
-            s_[i_] == 'e' || s_[i_] == 'E' || s_[i_] == '-' || s_[i_] == '+')) {
-      ++i_;
-    }
-    if (i_ == start) fail("expected a number");
-    JsonValue v;
-    v.kind = JsonValue::Kind::Number;
-    v.number = std::stod(s_.substr(start, i_ - start));
-    return v;
-  }
-
-  const std::string& s_;
-  std::size_t i_ = 0;
-};
-
-JsonValue parse_json(const std::string& text) { return JsonParser(text).parse(); }
 
 // ---------------------------------------------------------------------------
 // Registry semantics

@@ -1,0 +1,86 @@
+#include "baseline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace hpcfail::lint {
+
+std::string baseline_key(const Diagnostic& diagnostic) {
+  return diagnostic.file + "|" + diagnostic.check + "|" + diagnostic.message;
+}
+
+std::vector<BaselineEntry> load_baseline(const std::filesystem::path& path) {
+  std::vector<BaselineEntry> entries;
+  std::ifstream in(path);
+  if (!in) return entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+    BaselineEntry e;
+    const std::size_t first = line.find('|');
+    const std::size_t second = first == std::string::npos
+                                   ? std::string::npos
+                                   : line.find('|', first + 1);
+    if (second == std::string::npos) {
+      // Malformed: keep as an unmatchable entry so it shows up stale instead
+      // of silently suppressing something.
+      e.file = line;
+      entries.push_back(std::move(e));
+      continue;
+    }
+    e.file = line.substr(0, first);
+    e.check = line.substr(first + 1, second - first - 1);
+    e.message = line.substr(second + 1);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+BaselineResult apply_baseline(Report& report, const std::vector<BaselineEntry>& baseline) {
+  BaselineResult result;
+  if (baseline.empty()) return result;
+
+  std::set<std::string> keys;
+  for (const auto& e : baseline) {
+    keys.insert(e.file + "|" + e.check + "|" + e.message);
+  }
+
+  std::set<std::string> matched;
+  auto& diags = report.diagnostics;
+  const auto is_baselined = [&](const Diagnostic& d) {
+    const std::string key = baseline_key(d);
+    if (keys.count(key) == 0) return false;
+    matched.insert(key);
+    return true;
+  };
+  const std::size_t before = diags.size();
+  diags.erase(std::remove_if(diags.begin(), diags.end(), is_baselined), diags.end());
+  result.suppressed = before - diags.size();
+
+  for (const auto& key : keys) {
+    if (matched.count(key) == 0) result.stale_keys.push_back(key);
+  }
+  return result;
+}
+
+std::string render_baseline(const Report& report) {
+  std::set<std::string> keys;
+  for (const auto& d : report.diagnostics) keys.insert(baseline_key(d));
+
+  std::ostringstream out;
+  out << "# hpcfail-lint baseline: accepted findings, one per line as\n"
+         "#   file|check|message\n"
+         "# Line numbers are not part of the key so entries survive unrelated\n"
+         "# edits.  Regenerate with: hpcfail-lint --write-baseline <this file>\n"
+         "# Stale entries (no longer matching any finding) are reported by\n"
+         "# --baseline runs and should be deleted.\n";
+  for (const auto& key : keys) out << key << "\n";
+  return std::move(out).str();
+}
+
+}  // namespace hpcfail::lint

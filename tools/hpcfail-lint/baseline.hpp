@@ -1,0 +1,55 @@
+// Baseline gating for hpcfail-lint: fail only on regressions.
+//
+// A baseline file is a committed list of accepted findings, one per line:
+//
+//     file|check|message
+//
+// Line numbers are deliberately NOT part of the key: an accepted finding
+// survives unrelated edits above it.  `#`-prefixed lines and blank lines are
+// comments.  apply_baseline() drops matching diagnostics from the report and
+// returns what it did, so the CLI can print both the suppressed count and
+// any stale entries (baseline lines no finding matched — candidates for
+// deletion, reported so the file cannot rot silently).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace hpcfail::lint {
+
+struct Diagnostic;
+struct Report;
+
+/// One parsed baseline entry (a `file|check|message` line).
+struct BaselineEntry {
+  std::string file;
+  std::string check;
+  std::string message;
+};
+
+/// The stable identity of a diagnostic: "file|check|message".
+[[nodiscard]] std::string baseline_key(const Diagnostic& diagnostic);
+
+/// What apply_baseline() did to the report.
+struct BaselineResult {
+  std::size_t suppressed = 0;            ///< findings dropped as baselined
+  std::vector<std::string> stale_keys;   ///< entries no current finding matched
+};
+
+/// Parses a baseline file.  A missing file is an empty baseline (the
+/// committed file starts empty); a malformed line (fewer than two '|') is
+/// kept as a message-less entry that can never match, so it surfaces as
+/// stale rather than silently suppressing.
+[[nodiscard]] std::vector<BaselineEntry> load_baseline(const std::filesystem::path& path);
+
+/// Removes diagnostics matching a baseline entry from `report` and reports
+/// the suppressed count plus stale entries.
+[[nodiscard]] BaselineResult apply_baseline(Report& report,
+                                            const std::vector<BaselineEntry>& baseline);
+
+/// Serializes the report's diagnostics as baseline lines (sorted, deduped),
+/// with a format header comment — the `--write-baseline` output.
+[[nodiscard]] std::string render_baseline(const Report& report);
+
+}  // namespace hpcfail::lint

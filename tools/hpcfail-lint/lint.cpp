@@ -2,52 +2,57 @@
 
 #include <algorithm>
 #include <cctype>
-#include <fstream>
 #include <map>
 #include <optional>
 #include <regex>
 #include <set>
 #include <sstream>
 
+#include "cxx_model.hpp"
+
 namespace hpcfail::lint {
 
 namespace fs = std::filesystem;
 
+std::string_view to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::Warning: return "warning";
+    case Severity::Note: return "note";
+    case Severity::Error: break;
+  }
+  return "error";
+}
+
 std::string Diagnostic::to_string() const {
   std::ostringstream out;
-  out << file << ':' << line << ": error: [" << check << "] " << message;
+  out << file << ':' << line << ": " << lint::to_string(severity) << ": [" << check
+      << "] " << message;
   return out.str();
 }
 
-void Report::add(std::string file, std::size_t line, std::string check, std::string message) {
-  diagnostics.push_back(
-      Diagnostic{std::move(file), line, std::move(check), std::move(message)});
+bool Report::ok() const noexcept {
+  return std::none_of(diagnostics.begin(), diagnostics.end(),
+                      [](const Diagnostic& d) { return d.severity == Severity::Error; });
+}
+
+void Report::add(std::string file, std::size_t line, std::string check,
+                 std::string message, Severity severity) {
+  diagnostics.push_back(Diagnostic{std::move(file), line, std::move(check),
+                                   std::move(message), severity});
 }
 
 namespace {
 
 // ---------------------------------------------------------------------------
-// Source-file plumbing
+// Source-file plumbing (all reads go through the shared SourceTree cache)
 // ---------------------------------------------------------------------------
 
-/// A loaded source file: raw lines plus the repo-relative path used in
-/// diagnostics.  Line numbers are 1-based everywhere.
-struct SourceFile {
-  std::string rel_path;
-  std::vector<std::string> lines;
-};
-
-std::optional<SourceFile> load(const fs::path& root, const std::string& rel_path,
-                               const std::string& check, Report& report) {
-  std::ifstream in(root / rel_path);
-  if (!in) {
+const SourceFile* load(SourceTree& tree, const std::string& rel_path,
+                       const std::string& check, Report& report) {
+  const SourceFile* f = tree.source(rel_path);
+  if (f == nullptr) {
     report.add(rel_path, 0, check, "cannot read file (tree layout drifted?)");
-    return std::nullopt;
   }
-  SourceFile f;
-  f.rel_path = rel_path;
-  std::string line;
-  while (std::getline(in, line)) f.lines.push_back(std::move(line));
   return f;
 }
 
@@ -116,10 +121,10 @@ constexpr const char* kCorpusCpp = "src/loggen/corpus.cpp";
 constexpr const char* kFormatsMd = "FORMATS.md";
 
 /// EventType enumerators of event_type.hpp, in declaration order.
-std::vector<TableEntry> enum_entries(const fs::path& root, const std::string& check,
+std::vector<TableEntry> enum_entries(SourceTree& tree, const std::string& check,
                                      Report& report) {
-  const auto hpp = load(root, kEventTypeHpp, check, report);
-  if (!hpp) return {};
+  const auto* hpp = load(tree, kEventTypeHpp, check, report);
+  if (hpp == nullptr) return {};
   const auto body = body_of(*hpp, "enum class EventType");
   if (!body) {
     report.add(kEventTypeHpp, 0, check, "no `enum class EventType` block found");
@@ -161,11 +166,11 @@ void cross_check(const std::vector<TableEntry>& ours, const std::string& our_fil
 // Check: erd-table
 // ---------------------------------------------------------------------------
 
-void check_erd_tables(const fs::path& root, Report& report) {
+void check_erd_tables(SourceTree& tree, Report& report) {
   const std::string check = "erd-table";
-  const auto renderer = load(root, kRendererCpp, check, report);
-  const auto classifier = load(root, kClassifierCpp, check, report);
-  if (!renderer || !classifier) return;
+  const auto* renderer = load(tree, kRendererCpp, check, report);
+  const auto* classifier = load(tree, kClassifierCpp, check, report);
+  if (renderer == nullptr || classifier == nullptr) return;
 
   const auto rbody = body_of(*renderer, "erd_event_name(");
   const auto cbody = body_of(*classifier, "erd_event_type(");
@@ -207,7 +212,7 @@ void check_erd_tables(const fs::path& root, Report& report) {
 
   // Every EventType referenced must exist in the enum.
   std::set<std::string> enum_names;
-  for (const auto& e : enum_entries(root, check, report)) enum_names.insert(e.key);
+  for (const auto& e : enum_entries(tree, check, report)) enum_names.insert(e.key);
   if (enum_names.empty()) return;
   for (const auto& e : emit) {
     if (enum_names.count(e.value) == 0) {
@@ -227,11 +232,11 @@ void check_erd_tables(const fs::path& root, Report& report) {
 // Check: event-names
 // ---------------------------------------------------------------------------
 
-void check_event_names(const fs::path& root, Report& report) {
+void check_event_names(SourceTree& tree, Report& report) {
   const std::string check = "event-names";
-  const auto enums = enum_entries(root, check, report);
-  const auto cpp = load(root, kEventTypeCpp, check, report);
-  if (enums.empty() || !cpp) return;
+  const auto enums = enum_entries(tree, check, report);
+  const auto* cpp = load(tree, kEventTypeCpp, check, report);
+  if (enums.empty() || cpp == nullptr) return;
 
   const auto body = body_of(*cpp, "kEventNames");
   if (!body) {
@@ -311,11 +316,11 @@ void coverage_pair(const SourceFile& renderer, std::string_view render_fn,
 
 }  // namespace
 
-void check_payload_coverage(const fs::path& root, Report& report) {
+void check_payload_coverage(SourceTree& tree, Report& report) {
   const std::string check = "payload-coverage";
-  const auto renderer = load(root, kRendererCpp, check, report);
-  const auto classifier = load(root, kClassifierCpp, check, report);
-  if (!renderer || !classifier) return;
+  const auto* renderer = load(tree, kRendererCpp, check, report);
+  const auto* classifier = load(tree, kClassifierCpp, check, report);
+  if (renderer == nullptr || classifier == nullptr) return;
 
   coverage_pair(*renderer, "internal_payload(", *classifier, "classify_kernel_payload(",
                 check, report);
@@ -327,15 +332,15 @@ void check_payload_coverage(const fs::path& root, Report& report) {
 // Check: formats-doc
 // ---------------------------------------------------------------------------
 
-void check_formats_doc(const fs::path& root, Report& report) {
+void check_formats_doc(SourceTree& tree, Report& report) {
   const std::string check = "formats-doc";
-  const auto doc = load(root, kFormatsMd, check, report);
-  const auto renderer = load(root, kRendererCpp, check, report);
-  const auto classifier = load(root, kClassifierCpp, check, report);
-  if (!doc || !renderer || !classifier) return;
+  const auto* doc = load(tree, kFormatsMd, check, report);
+  const auto* renderer = load(tree, kRendererCpp, check, report);
+  const auto* classifier = load(tree, kClassifierCpp, check, report);
+  if (doc == nullptr || renderer == nullptr || classifier == nullptr) return;
 
   std::set<std::string> enum_names;
-  for (const auto& e : enum_entries(root, check, report)) enum_names.insert(e.key);
+  for (const auto& e : enum_entries(tree, check, report)) enum_names.insert(e.key);
 
   // --- console signature table: | EventName | `signature` | -----------------
   static const std::regex row_re(R"(^\|\s*([A-Z]\w+)\s*\|.*`)");
@@ -430,11 +435,11 @@ void check_formats_doc(const fs::path& root, Report& report) {
 // Check: corpus-files
 // ---------------------------------------------------------------------------
 
-void check_corpus_files(const fs::path& root, Report& report) {
+void check_corpus_files(SourceTree& tree, Report& report) {
   const std::string check = "corpus-files";
-  const auto corpus = load(root, kCorpusCpp, check, report);
-  const auto doc = load(root, kFormatsMd, check, report);
-  if (!corpus || !doc) return;
+  const auto* corpus = load(tree, kCorpusCpp, check, report);
+  const auto* doc = load(tree, kFormatsMd, check, report);
+  if (corpus == nullptr || doc == nullptr) return;
 
   const auto body = body_of(*corpus, "kFileNames");
   if (!body) {
@@ -482,7 +487,7 @@ void check_corpus_files(const fs::path& root, Report& report) {
 // Check: banned-pattern
 // ---------------------------------------------------------------------------
 
-void check_banned_patterns(const fs::path& root, Report& report) {
+void check_banned_patterns(SourceTree& tree, Report& report) {
   const std::string check = "banned-pattern";
   struct Banned {
     std::regex re;
@@ -503,23 +508,13 @@ void check_banned_patterns(const fs::path& root, Report& report) {
        "random_shuffle is banned; use util::Rng::shuffle"},
   };
 
-  const fs::path src = root / "src";
-  if (!fs::exists(src)) {
+  if (!tree.exists("src")) {
     report.add("src", 0, check, "no src/ directory under repo root");
     return;
   }
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(src)) {
-    if (!entry.is_regular_file()) continue;
-    const auto ext = entry.path().extension().string();
-    if (ext == ".cpp" || ext == ".hpp") files.push_back(entry.path());
-  }
-  std::sort(files.begin(), files.end());
-
-  for (const auto& path : files) {
-    const std::string rel = fs::relative(path, root).generic_string();
-    const auto file = load(root, rel, check, report);
-    if (!file) continue;
+  for (const auto& rel : tree.files_under("src")) {
+    const auto* file = load(tree, rel, check, report);
+    if (file == nullptr) continue;
     for (std::size_t n = 1; n <= file->lines.size(); ++n) {
       const std::string& text = file->lines[n - 1];
       if (text.find("hpcfail-lint: allow(banned-pattern)") != std::string::npos) continue;
@@ -536,26 +531,18 @@ void check_banned_patterns(const fs::path& root, Report& report) {
 // Check: header-hygiene
 // ---------------------------------------------------------------------------
 
-void check_header_hygiene(const fs::path& root, Report& report) {
+void check_header_hygiene(SourceTree& tree, Report& report) {
   const std::string check = "header-hygiene";
-  const fs::path src = root / "src";
-  if (!fs::exists(src)) {
+  if (!tree.exists("src")) {
     report.add("src", 0, check, "no src/ directory under repo root");
     return;
   }
-  std::vector<fs::path> headers;
-  for (const auto& entry : fs::recursive_directory_iterator(src)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".hpp") {
-      headers.push_back(entry.path());
-    }
-  }
-  std::sort(headers.begin(), headers.end());
 
   static const std::regex using_ns(R"(^\s*using\s+namespace\b)");
-  for (const auto& path : headers) {
-    const std::string rel = fs::relative(path, root).generic_string();
-    const auto file = load(root, rel, check, report);
-    if (!file) continue;
+  for (const auto& rel : tree.files_under("src")) {
+    if (rel.size() < 4 || rel.compare(rel.size() - 4, 4, ".hpp") != 0) continue;
+    const auto* file = load(tree, rel, check, report);
+    if (file == nullptr) continue;
     bool pragma_once = false;
     const std::size_t probe = std::min<std::size_t>(file->lines.size(), 30);
     for (std::size_t n = 0; n < probe; ++n) {
@@ -580,30 +567,22 @@ void check_header_hygiene(const fs::path& root, Report& report) {
 // Check: bench-pipeline
 // ---------------------------------------------------------------------------
 
-void check_bench_pipeline(const fs::path& root, Report& report) {
+void check_bench_pipeline(SourceTree& tree, Report& report) {
   const std::string check = "bench-pipeline";
-  const fs::path bench = root / "bench";
-  if (!fs::exists(bench)) {
+  if (!tree.exists("bench")) {
     report.add("bench", 0, check, "no bench/ directory under repo root");
     return;
   }
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::directory_iterator(bench)) {
-    if (!entry.is_regular_file()) continue;
-    if (entry.path().extension() != ".cpp") continue;
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("fig", 0) != 0 && name.rfind("tab", 0) != 0) continue;
-    files.push_back(entry.path());
-  }
-  std::sort(files.begin(), files.end());
 
   static const std::regex direct_call(R"(\banalyze_failures\s*\()");
   static const std::regex pipeline_use(
       R"(\b(run_pipeline|run_system)\s*\(|\bAnalysisEngine\b)");
-  for (const auto& path : files) {
-    const std::string rel = fs::relative(path, root).generic_string();
-    const auto file = load(root, rel, check, report);
-    if (!file) continue;
+  for (const auto& rel : tree.files_under("bench")) {
+    const std::string name = fs::path(rel).filename().string();
+    if (fs::path(rel).extension() != ".cpp") continue;
+    if (name.rfind("fig", 0) != 0 && name.rfind("tab", 0) != 0) continue;
+    const auto* file = load(tree, rel, check, report);
+    if (file == nullptr) continue;
     bool uses_pipeline = false;
     bool allowed = false;
     for (std::size_t n = 1; n <= file->lines.size(); ++n) {
@@ -632,7 +611,7 @@ void check_bench_pipeline(const fs::path& root, Report& report) {
 // Check: metric-naming
 // ---------------------------------------------------------------------------
 
-void check_metric_naming(const fs::path& root, Report& report) {
+void check_metric_naming(SourceTree& tree, Report& report) {
   const std::string check = "metric-naming";
   // A complete instrument name: hpcfail root plus at least two lowercase
   // snake_case dot-segments (hpcfail.<layer>.<name>...).
@@ -651,69 +630,55 @@ void check_metric_naming(const fs::path& root, Report& report) {
   static const std::regex call_site(
       R"#(\b(?:counter|gauge|histogram|TraceSpan(?:\s+\w+)?|PhaseScope(?:\s+\w+)?)\s*\(\s*"([^"\\]+)")#");
 
-  const fs::path src = root / "src";
-  if (!fs::exists(src)) {
+  if (!tree.exists("src")) {
     report.add("src", 0, check, "no src/ directory under repo root");
     return;
   }
-  std::vector<fs::path> files;
   for (const char* top : {"src", "tools", "bench"}) {
-    const fs::path dir = root / top;
-    if (!fs::exists(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file()) continue;
-      const auto ext = entry.path().extension().string();
-      if (ext != ".cpp" && ext != ".hpp") continue;
+    for (const auto& rel : tree.files_under(top)) {
       // The linter's own sources quote drifted names in messages and tests.
-      const std::string rel = fs::relative(entry.path(), root).generic_string();
       if (rel.rfind("tools/hpcfail-lint/", 0) == 0) continue;
-      files.push_back(entry.path());
-    }
-  }
-  std::sort(files.begin(), files.end());
+      const auto* file = load(tree, rel, check, report);
+      if (file == nullptr) continue;
+      for (std::size_t n = 1; n <= file->lines.size(); ++n) {
+        const std::string& text = file->lines[n - 1];
+        if (text.find("hpcfail-lint: allow(metric-naming)") != std::string::npos) continue;
 
-  for (const auto& path : files) {
-    const std::string rel = fs::relative(path, root).generic_string();
-    const auto file = load(root, rel, check, report);
-    if (!file) continue;
-    for (std::size_t n = 1; n <= file->lines.size(); ++n) {
-      const std::string& text = file->lines[n - 1];
-      if (text.find("hpcfail-lint: allow(metric-naming)") != std::string::npos) continue;
+        // Collect each candidate name once per line; a name seen with a
+        // trailing '+' anywhere on the line is validated as a prefix.
+        std::map<std::string, bool> names;  // name -> is_prefix
+        for (auto it = std::sregex_iterator(text.begin(), text.end(), rooted_literal);
+             it != std::sregex_iterator(); ++it) {
+          bool& is_prefix = names[(*it)[1].str()];
+          is_prefix = is_prefix || (*it)[2].matched;
+        }
+        for (auto it = std::sregex_iterator(text.begin(), text.end(), call_site);
+             it != std::sregex_iterator(); ++it) {
+          names.emplace((*it)[1].str(), false);
+        }
 
-      // Collect each candidate name once per line; a name seen with a
-      // trailing '+' anywhere on the line is validated as a prefix.
-      std::map<std::string, bool> names;  // name -> is_prefix
-      for (auto it = std::sregex_iterator(text.begin(), text.end(), rooted_literal);
-           it != std::sregex_iterator(); ++it) {
-        bool& is_prefix = names[(*it)[1].str()];
-        is_prefix = is_prefix || (*it)[2].matched;
-      }
-      for (auto it = std::sregex_iterator(text.begin(), text.end(), call_site);
-           it != std::sregex_iterator(); ++it) {
-        names.emplace((*it)[1].str(), false);
-      }
-
-      for (const auto& [name, is_prefix] : names) {
-        if (name.rfind("hpcfail.", 0) != 0) {
-          report.add(rel, n, check,
-                     "instrument name '" + name +
-                         "' is not rooted under 'hpcfail.'; metric and span names "
-                         "follow hpcfail.<layer>.<snake_case>");
-        } else if (is_prefix) {
-          std::string head = name;
-          if (!head.empty() && (head.back() == '.' || head.back() == '_')) head.pop_back();
-          if (!std::regex_match(head, prefix_name)) {
+        for (const auto& [name, is_prefix] : names) {
+          if (name.rfind("hpcfail.", 0) != 0) {
             report.add(rel, n, check,
-                       "metric/span name prefix '" + name +
-                           "' drifts from hpcfail.<layer>.<snake_case> (complete "
-                           "segments before the runtime suffix must be lowercase "
-                           "snake_case)");
+                       "instrument name '" + name +
+                           "' is not rooted under 'hpcfail.'; metric and span names "
+                           "follow hpcfail.<layer>.<snake_case>");
+          } else if (is_prefix) {
+            std::string head = name;
+            if (!head.empty() && (head.back() == '.' || head.back() == '_')) head.pop_back();
+            if (!std::regex_match(head, prefix_name)) {
+              report.add(rel, n, check,
+                         "metric/span name prefix '" + name +
+                             "' drifts from hpcfail.<layer>.<snake_case> (complete "
+                             "segments before the runtime suffix must be lowercase "
+                             "snake_case)");
+            }
+          } else if (!std::regex_match(name, full_name)) {
+            report.add(rel, n, check,
+                       "metric/span name '" + name +
+                           "' drifts from hpcfail.<layer>.<snake_case> (lowercase "
+                           "snake_case segments, at least two after 'hpcfail')");
           }
-        } else if (!std::regex_match(name, full_name)) {
-          report.add(rel, n, check,
-                     "metric/span name '" + name +
-                         "' drifts from hpcfail.<layer>.<snake_case> (lowercase "
-                         "snake_case segments, at least two after 'hpcfail')");
         }
       }
     }
@@ -724,39 +689,105 @@ void check_metric_naming(const fs::path& root, Report& report) {
 // Dispatch
 // ---------------------------------------------------------------------------
 
-const std::vector<std::string>& all_check_names() {
-  static const std::vector<std::string> names = {
-      "erd-table",      "event-names",     "payload-coverage", "formats-doc",
-      "corpus-files",   "banned-pattern",  "header-hygiene",   "bench-pipeline",
-      "metric-naming",
+namespace {
+
+struct CheckDef {
+  CheckInfo info;
+  void (*fn)(SourceTree&, Report&);
+};
+
+const std::vector<CheckDef>& registry() {
+  static const std::vector<CheckDef> defs = {
+      {{"erd-table", Severity::Error,
+        "Renderer erd_event_name() and classifier erd_event_type() must be exact "
+        "inverses"},
+       &check_erd_tables},
+      {{"event-names", Severity::Error,
+        "kEventNames must list the EventType enumerators in declaration order"},
+       &check_event_names},
+      {{"payload-coverage", Severity::Error,
+        "Every rendered payload template needs a matching classifier rule and vice "
+        "versa"},
+       &check_payload_coverage},
+      {{"formats-doc", Severity::Error,
+        "FORMATS.md tables must match the emitter and parser tables in code"},
+       &check_formats_doc},
+      {{"corpus-files", Severity::Error,
+        "Corpus file names in code and the FORMATS.md layout block must agree"},
+       &check_corpus_files},
+      {{"banned-pattern", Severity::Error,
+        "No nondeterministic RNG or wall-clock seeding outside util::Rng"},
+       &check_banned_patterns},
+      {{"header-hygiene", Severity::Error,
+        "Headers carry #pragma once and never `using namespace` at top level"},
+       &check_header_hygiene},
+      {{"bench-pipeline", Severity::Error,
+        "Figure/table benches route analysis through run_pipeline/AnalysisEngine"},
+       &check_bench_pipeline},
+      {{"metric-naming", Severity::Error,
+        "Instrument names follow hpcfail.<layer>.<snake_case>"},
+       &check_metric_naming},
+      {{"capture-lifetime", Severity::Error,
+        "Lambdas queued on the ThreadPool must not capture by reference (PR 1 "
+        "use-after-scope class)"},
+       &check_capture_lifetime},
+      {{"dangling-view", Severity::Error,
+        "No std::span/std::string_view derived from locals or temporaries (PR 5 "
+        "dangling-view class)"},
+       &check_dangling_view},
+      {{"finalize-protocol", Severity::Error,
+        "Public LogStore/AnalysisContext accessors guard non-finalized state with "
+        "std::logic_error or carry a reasoned allow"},
+       &check_finalize_protocol},
+      {{"raw-sync", Severity::Error,
+        "No bare std::thread/detach()/raw new/const_cast outside src/util; "
+        "concurrency goes through util::ThreadPool"},
+       &check_raw_sync},
   };
+  return defs;
+}
+
+}  // namespace
+
+const std::vector<CheckInfo>& all_checks() {
+  static const std::vector<CheckInfo> infos = [] {
+    std::vector<CheckInfo> v;
+    v.reserve(registry().size());
+    for (const auto& def : registry()) v.push_back(def.info);
+    return v;
+  }();
+  return infos;
+}
+
+const std::vector<std::string>& all_check_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    v.reserve(registry().size());
+    for (const auto& def : registry()) v.push_back(def.info.name);
+    return v;
+  }();
   return names;
 }
 
-Report run_checks(const fs::path& root, const std::vector<std::string>& checks) {
-  using CheckFn = void (*)(const fs::path&, Report&);
-  static const std::map<std::string, CheckFn> registry = {
-      {"erd-table", &check_erd_tables},
-      {"event-names", &check_event_names},
-      {"payload-coverage", &check_payload_coverage},
-      {"formats-doc", &check_formats_doc},
-      {"corpus-files", &check_corpus_files},
-      {"banned-pattern", &check_banned_patterns},
-      {"header-hygiene", &check_header_hygiene},
-      {"bench-pipeline", &check_bench_pipeline},
-      {"metric-naming", &check_metric_naming},
-  };
+Report run_checks(SourceTree& tree, const std::vector<std::string>& checks) {
   Report report;
   const std::vector<std::string>& selected = checks.empty() ? all_check_names() : checks;
   for (const auto& name : selected) {
-    const auto it = registry.find(name);
-    if (it == registry.end()) {
+    const auto it =
+        std::find_if(registry().begin(), registry().end(),
+                     [&](const CheckDef& def) { return def.info.name == name; });
+    if (it == registry().end()) {
       report.add("<args>", 0, "usage", "unknown check '" + name + "'");
       continue;
     }
-    it->second(root, report);
+    it->fn(tree, report);
   }
   return report;
+}
+
+Report run_checks(const fs::path& root, const std::vector<std::string>& checks) {
+  SourceTree tree(root);
+  return run_checks(tree, checks);
 }
 
 }  // namespace hpcfail::lint

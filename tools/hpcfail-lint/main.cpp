@@ -1,23 +1,43 @@
 // CLI driver for hpcfail-lint.  Exit codes: 0 clean, 1 diagnostics emitted,
 // 2 usage error.
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "baseline.hpp"
+#include "cxx_model.hpp"
 #include "lint.hpp"
+#include "sarif.hpp"
 
 namespace {
 
 void usage(std::FILE* to) {
   std::fputs(
       "usage: hpcfail-lint [--repo-root DIR] [--check NAME]... [--list-checks]\n"
+      "                    [--baseline FILE] [--write-baseline FILE]\n"
+      "                    [--sarif-out FILE] [--stats]\n"
       "\n"
       "Statically cross-checks the emitter templates, parser tables and\n"
-      "FORMATS.md schemas of an hpcfail tree, plus repo invariants (banned\n"
-      "nondeterminism, header hygiene).  Prints gcc-style file:line\n"
-      "diagnostics and exits non-zero when the universes have drifted.\n",
+      "FORMATS.md schemas of an hpcfail tree, plus repo invariants and\n"
+      "token-level lifetime/concurrency checks (capture-lifetime,\n"
+      "dangling-view, finalize-protocol, raw-sync).  Prints gcc-style\n"
+      "file:line diagnostics and exits non-zero when the tree has drifted.\n"
+      "\n"
+      "  --baseline FILE        drop findings listed in FILE (file|check|message\n"
+      "                         lines); only regressions fail the run.  Stale\n"
+      "                         entries are reported on stderr.\n"
+      "  --write-baseline FILE  write the current findings as a baseline and\n"
+      "                         exit 0 (accept-current-state workflow).\n"
+      "  --sarif-out FILE       also write the (pre-baseline) report as\n"
+      "                         SARIF 2.1.0 for code-scanning upload.\n"
+      "  --stats                print files/bytes loaded and wall time to\n"
+      "                         stderr (the shared SourceTree cache means the\n"
+      "                         tree is read once regardless of check count).\n",
       to);
 }
 
@@ -26,6 +46,18 @@ void usage(std::FILE* to) {
 int main(int argc, char** argv) {
   std::filesystem::path root = ".";
   std::vector<std::string> checks;
+  std::filesystem::path baseline_path;
+  std::filesystem::path write_baseline_path;
+  std::filesystem::path sarif_path;
+  bool stats = false;
+
+  const auto need_value = [&](int i, const char* flag) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "hpcfail-lint: %s needs a value\n", flag);
+      return false;
+    }
+    return true;
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -40,19 +72,32 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--repo-root") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "hpcfail-lint: --repo-root needs a value\n");
-        return 2;
-      }
+      if (!need_value(i, "--repo-root")) return 2;
       root = argv[++i];
       continue;
     }
     if (arg == "--check") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "hpcfail-lint: --check needs a value\n");
-        return 2;
-      }
+      if (!need_value(i, "--check")) return 2;
       checks.emplace_back(argv[++i]);
+      continue;
+    }
+    if (arg == "--baseline") {
+      if (!need_value(i, "--baseline")) return 2;
+      baseline_path = argv[++i];
+      continue;
+    }
+    if (arg == "--write-baseline") {
+      if (!need_value(i, "--write-baseline")) return 2;
+      write_baseline_path = argv[++i];
+      continue;
+    }
+    if (arg == "--sarif-out") {
+      if (!need_value(i, "--sarif-out")) return 2;
+      sarif_path = argv[++i];
+      continue;
+    }
+    if (arg == "--stats") {
+      stats = true;
       continue;
     }
     std::fprintf(stderr, "hpcfail-lint: unknown argument '%s'\n", argv[i]);
@@ -66,7 +111,69 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const hpcfail::lint::Report report = hpcfail::lint::run_checks(root, checks);
+  // A mistyped --check is a usage error (exit 2), not a lint finding: a CI
+  // job must not be able to "fail with findings" on a flag typo.
+  const auto known = hpcfail::lint::all_check_names();
+  for (const auto& name : checks) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      std::fprintf(stderr, "hpcfail-lint: unknown check '%s' (see --list-checks)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  hpcfail::lint::SourceTree tree(root);
+  hpcfail::lint::Report report = hpcfail::lint::run_checks(tree, checks);
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  if (stats) {
+    std::fprintf(stderr,
+                 "hpcfail-lint: stats: %zu files / %zu bytes loaded once, "
+                 "%lld ms wall\n",
+                 tree.files_loaded(), tree.bytes_loaded(),
+                 static_cast<long long>(wall_ms));
+  }
+
+  // SARIF reflects the full (pre-baseline) report: code scanning tracks
+  // known findings itself; hiding baselined ones would resurface them as
+  // "new" the day the baseline changes.
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "hpcfail-lint: cannot write SARIF to '%s'\n",
+                   sarif_path.string().c_str());
+      return 2;
+    }
+    out << hpcfail::lint::to_sarif(report);
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "hpcfail-lint: cannot write baseline to '%s'\n",
+                   write_baseline_path.string().c_str());
+      return 2;
+    }
+    out << hpcfail::lint::render_baseline(report);
+    std::fprintf(stderr, "hpcfail-lint: wrote %zu finding(s) to baseline '%s'\n",
+                 report.diagnostics.size(), write_baseline_path.string().c_str());
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    const auto baseline = hpcfail::lint::load_baseline(baseline_path);
+    const auto applied = hpcfail::lint::apply_baseline(report, baseline);
+    if (applied.suppressed > 0) {
+      std::fprintf(stderr, "hpcfail-lint: %zu baselined finding(s) suppressed\n",
+                   applied.suppressed);
+    }
+    for (const auto& key : applied.stale_keys) {
+      std::fprintf(stderr, "hpcfail-lint: stale baseline entry: %s\n", key.c_str());
+    }
+  }
+
   for (const auto& d : report.diagnostics) {
     std::printf("%s\n", d.to_string().c_str());
   }

@@ -1,0 +1,24 @@
+// SARIF 2.1.0 rendering for hpcfail-lint reports.
+//
+// One run, one tool ("hpcfail-lint"), one rule per registered check (ids and
+// shortDescriptions from all_checks()), one result per diagnostic.  The
+// output is consumed by GitHub code scanning via codeql-action/upload-sarif,
+// so the shape follows the sarif-schema-2.1.0 required properties exactly:
+// version, $schema, runs[].tool.driver.{name,rules}, runs[].results[] with
+// ruleId/level/message/locations.
+#pragma once
+
+#include <string>
+
+namespace hpcfail::lint {
+
+struct Report;
+
+/// Renders the report as a SARIF 2.1.0 JSON document (two-space indented,
+/// trailing newline).  Severities map Error→"error", Warning→"warning",
+/// Note→"note".  Diagnostics whose check is not in the registry (e.g. the
+/// CLI's synthetic "usage" errors) still render, with an ad-hoc rule
+/// appended after the registered ones.
+[[nodiscard]] std::string to_sarif(const Report& report);
+
+}  // namespace hpcfail::lint
