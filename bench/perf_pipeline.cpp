@@ -154,6 +154,10 @@ void BM_IngestFiles(benchmark::State& state) {
   std::size_t records = 0;
   for (auto _ : state) {
     const auto parsed = parsers::ingest_files(shared_corpus_dir(), options);
+    if (!parsed.ok()) {
+      state.SkipWithError(parsed.error->to_string().c_str());
+      break;
+    }
     records = parsed.parsed_records;
   }
   benchmark::DoNotOptimize(records);
@@ -295,6 +299,7 @@ int run_json_measure(const std::string& dir) {
 
   const auto t0 = std::chrono::steady_clock::now();
   const auto parsed = parsers::ingest_files(dir, options);
+  if (!parsed.ok()) throw std::runtime_error(parsed.error->to_string());
   const auto t1 = std::chrono::steady_clock::now();
   const double ingest_rss = peak_rss_mb();
 

@@ -1,10 +1,12 @@
 #include "faultsim/scenario_io.hpp"
 
 #include <functional>
+#include <new>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/strings.hpp"
 
 namespace hpcfail::faultsim {
@@ -124,6 +126,7 @@ std::optional<platform::SystemName> system_from_label(std::string_view label) {
 }  // namespace
 
 std::string scenario_to_string(const ScenarioConfig& config) {
+  if (HPCFAIL_FAULT_SITE("faultsim.scenario_io.bad_alloc")) throw std::bad_alloc{};
   std::ostringstream out;
   out << "# hpcfail scenario\n";
   out << "system = " << platform::to_string(config.system.name) << '\n';

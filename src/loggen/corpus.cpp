@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "loggen/renderer.hpp"
+#include "util/fault.hpp"
 #include "util/strings.hpp"
 
 namespace hpcfail::loggen {
@@ -228,12 +229,22 @@ void write_corpus(const Corpus& corpus, const std::string& dir) {
     std::ofstream manifest(fs::path(dir) / "manifest.txt");
     if (!manifest) throw std::runtime_error("write_corpus: cannot open manifest");
     manifest << manifest_to_string(corpus);
+    manifest.flush();
+    if (!manifest) throw std::runtime_error("write_corpus: short write to manifest.txt");
   }
   for (std::size_t i = 0; i < kFileNames.size(); ++i) {
     if (corpus.text[i].empty()) continue;
     std::ofstream file(fs::path(dir) / kFileNames[i], std::ios::binary);
     if (!file) throw std::runtime_error("write_corpus: cannot open log file");
     file << corpus.text[i];
+    if (HPCFAIL_FAULT_SITE("loggen.write.badbit")) file.setstate(std::ios::badbit);
+    file.flush();
+    // An unchecked stream here turns a full disk into a silently truncated
+    // corpus; fail loud with the file that broke.
+    if (!file) {
+      throw std::runtime_error("write_corpus: short write to " +
+                               std::string(kFileNames[i]));
+    }
   }
 }
 

@@ -1,8 +1,10 @@
 #include "logmodel/store_builder.hpp"
 
 #include <algorithm>
+#include <new>
 #include <queue>
 
+#include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -50,6 +52,7 @@ void StoreBuilder::append(LogRecord r) {
 
 void StoreBuilder::append_batch(std::vector<LogRecord> batch,
                                 const SymbolTable& batch_symbols) {
+  if (HPCFAIL_FAULT_SITE("store.append_batch.bad_alloc")) throw std::bad_alloc{};
   if (batch.empty()) return;
   // Rewrite chunk-local Symbols into the builder's table.  absorb() is a
   // hash probe per *distinct* string, the remap a table lookup per record.
@@ -60,14 +63,19 @@ void StoreBuilder::append_batch(std::vector<LogRecord> batch,
 
 void StoreBuilder::append_batch(std::vector<LogRecord> batch) {
   if (batch.empty()) return;
-  count_ += batch.size();
-  if (current_.empty() && batch.size() >= shard_records_) {
-    note_shard(batch.size());
+  // count_ is bumped only after the records are in place, so a bad_alloc
+  // from the insert can't leave record_count() claiming records the store
+  // never received.
+  const std::size_t records = batch.size();
+  if (current_.empty() && records >= shard_records_) {
+    note_shard(records);
     shards_.push_back(std::move(batch));
+    count_ += records;
     return;
   }
   current_.insert(current_.end(), std::make_move_iterator(batch.begin()),
                   std::make_move_iterator(batch.end()));
+  count_ += records;
   if (current_.size() >= shard_records_) seal_current();
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
+
+#include "util/fault.hpp"
 
 namespace hpcfail::logmodel {
 
@@ -43,6 +46,7 @@ Symbol SymbolTable::intern(std::string_view text) {
 }
 
 std::vector<Symbol> SymbolTable::absorb(const SymbolTable& src) {
+  if (HPCFAIL_FAULT_SITE("store.symbol_absorb.bad_alloc")) throw std::bad_alloc{};
   std::vector<Symbol> remap(src.views_.size());
   for (std::size_t i = 0; i < src.views_.size(); ++i) remap[i] = intern(src.views_[i]);
   return remap;

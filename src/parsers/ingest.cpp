@@ -6,12 +6,14 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <new>
 #include <stdexcept>
 #include <utility>
 
 #include "logmodel/store_builder.hpp"
 #include "parsers/source_parsers.hpp"
 #include "util/chunked_reader.hpp"
+#include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/time.hpp"
@@ -37,6 +39,27 @@ LineParseFn line_parser_for(LogSource source) noexcept {
     default:
       return nullptr;
   }
+}
+
+std::string_view to_string(IngestErrorKind kind) noexcept {
+  switch (kind) {
+    case IngestErrorKind::Resource: return "resource";
+    case IngestErrorKind::MissingFile: return "missing-file";
+    case IngestErrorKind::StreamIo: break;
+  }
+  return "stream-io";
+}
+
+std::string IngestError::to_string() const {
+  std::string out(parsers::to_string(kind));
+  out += " error in ";
+  out += logmodel::to_string(source);
+  if (!file.empty()) out += " (" + file + ")";
+  if (kind == IngestErrorKind::StreamIo) {
+    out += " at byte offset " + std::to_string(byte_offset);
+  }
+  out += ": " + message;
+  return out;
 }
 
 namespace {
@@ -105,21 +128,28 @@ void ingest_parallel_source(std::istream& in, LineParseFn parse, const ParseCont
   const IngestInstruments m = IngestInstruments::bind();
 
   const auto retire_front = [&] {
+    if (HPCFAIL_FAULT_SITE("ingest.retire.bad_alloc")) throw std::bad_alloc{};
     ChunkResult r;
     if (m.on()) {
       const std::int64_t t0 = steady_us();
       r = pending.front().get();
       m.retire_stall_us->add(
           static_cast<std::uint64_t>(std::max<std::int64_t>(0, steady_us() - t0)));
-      m.records_parsed->add(r.records.size());
-      m.lines_skipped->add(r.skipped);
     } else {
       r = pending.front().get();
     }
     pending.pop_front();
+    // append_batch throws (if at all) before touching the store, so counting
+    // the chunk's lines only after it returns keeps the partial-result
+    // invariant total_lines == parsed + skipped when a retire fails.
+    const std::size_t records = r.records.size();
+    builder.append_batch(std::move(r.records), r.symbols);
     total_lines += r.lines;
     skipped += r.skipped;
-    builder.append_batch(std::move(r.records), r.symbols);
+    if (m.on()) {
+      m.records_parsed->add(records);
+      m.lines_skipped->add(r.skipped);
+    }
   };
 
   const auto read_next = [&](std::string& out) {
@@ -143,6 +173,7 @@ void ingest_parallel_source(std::istream& in, LineParseFn parse, const ParseCont
       pending.push_back(
           pool.submit([text = std::move(chunk), parse, ctx]() -> ChunkResult {
             util::TraceSpan span("hpcfail.ingest.parse_chunk");
+            if (HPCFAIL_FAULT_SITE("ingest.parse.bad_alloc")) throw std::bad_alloc{};
             ChunkResult r;
             ParseContext local = ctx;
             local.symbols = &r.symbols;  // intern straight from the chunk buffer
@@ -210,14 +241,32 @@ void ingest_scheduler_source(std::istream& in, const ParseContext& ctx,
   }
 }
 
+/// Runs one source's pipeline, converting the two recoverable data-plane
+/// failures — a stream I/O error from the reader and an allocation failure
+/// anywhere in the chunk pipeline — into a structured IngestError.  Logic
+/// errors and everything else stay loud.
+template <typename Fn>
+std::optional<IngestError> run_source_guarded(LogSource source, Fn&& fn) {
+  try {
+    fn();
+    return std::nullopt;
+  } catch (const util::IoError& e) {
+    return IngestError{IngestErrorKind::StreamIo, source, {}, e.byte_offset, e.what()};
+  } catch (const std::bad_alloc&) {
+    return IngestError{IngestErrorKind::Resource, source, {}, 0,
+                       "allocation failure in the ingest pipeline"};
+  }
+}
+
 }  // namespace
 
-ParsedCorpus ingest_stream(const loggen::Corpus& header,
+IngestResult ingest_stream(const loggen::Corpus& header,
                            const std::vector<SourceStream>& sources,
                            const IngestOptions& options) {
   util::TraceSpan run_span("hpcfail.ingest.run");
-  ParsedCorpus out{header.system, platform::Topology{header.system.topology},
-                   {}, {}, 0, 0, 0};
+  IngestResult out;
+  out.system = header.system;
+  out.topology = platform::Topology{header.system.topology};
   util::ThreadPool& pool = options.pool != nullptr ? *options.pool : util::default_pool();
   const std::size_t inflight = options.max_inflight_chunks != 0
                                    ? options.max_inflight_chunks
@@ -244,24 +293,34 @@ ParsedCorpus ingest_stream(const loggen::Corpus& header,
     if (in == nullptr) continue;
     util::TraceSpan span("hpcfail.ingest.source_" +
                          util::trace_name_segment(logmodel::to_string(source)));
-    ingest_parallel_source(*in, line_parser_for(source), ctx, options, pool, inflight,
-                           builder, out.total_lines, skipped);
+    out.error = run_source_guarded(source, [&] {
+      ingest_parallel_source(*in, line_parser_for(source), ctx, options, pool, inflight,
+                             builder, out.total_lines, skipped);
+    });
+    if (out.error) break;
   }
 
-  if (std::istream* in = stream_of(LogSource::Scheduler)) {
-    util::TraceSpan span("hpcfail.ingest.source_scheduler");
-    ingest_scheduler_source(*in, ctx, options, out.jobs, builder, out.total_lines,
-                            skipped);
+  if (!out.error) {
+    if (std::istream* in = stream_of(LogSource::Scheduler)) {
+      util::TraceSpan span("hpcfail.ingest.source_scheduler");
+      out.error = run_source_guarded(LogSource::Scheduler, [&] {
+        ingest_scheduler_source(*in, ctx, options, out.jobs, builder, out.total_lines,
+                                skipped);
+      });
+    }
   }
   out.jobs.finalize();
 
+  // Build the store even after a failure: everything retired before the
+  // error is a record-accurate partial result, and the line accounting
+  // (total_lines = parsed + skipped) covers exactly what was seen.
   out.skipped_lines = skipped;
   out.parsed_records = builder.record_count();
   out.store = builder.build(&pool);
   return out;
 }
 
-ParsedCorpus ingest_files(const std::string& dir, const IngestOptions& options) {
+IngestResult ingest_files(const std::string& dir, const IngestOptions& options) {
   namespace fs = std::filesystem;
   const loggen::Corpus header = loggen::read_corpus_header(dir);
 
@@ -273,11 +332,29 @@ ParsedCorpus ingest_files(const std::string& dir, const IngestOptions& options) 
     const auto source = static_cast<LogSource>(i);
     const fs::path path = fs::path(dir) / loggen::source_file_name(source);
     std::ifstream file(path, std::ios::binary);
-    if (!file) continue;  // absent source (e.g. no ERD on S5)
+    if (!file) {
+      // Absent source (e.g. no ERD on S5): never invisible, optionally fatal.
+      if (util::MetricsRegistry* reg = util::metrics()) {
+        reg->counter("hpcfail.ingest.files_missing").increment();
+      }
+      if (options.missing_file_policy == MissingFilePolicy::Error) {
+        IngestResult out;
+        out.system = header.system;
+        out.topology = platform::Topology{header.system.topology};
+        out.error = IngestError{IngestErrorKind::MissingFile, source, path.string(), 0,
+                                "source file is absent and missing_file_policy is Error"};
+        return out;
+      }
+      continue;
+    }
     files.push_back(std::move(file));
     sources.push_back(SourceStream{source, &files.back()});
   }
-  return ingest_stream(header, sources, options);
+  IngestResult out = ingest_stream(header, sources, options);
+  if (out.error && out.error->file.empty()) {
+    out.error->file = (fs::path(dir) / loggen::source_file_name(out.error->source)).string();
+  }
+  return out;
 }
 
 }  // namespace hpcfail::parsers

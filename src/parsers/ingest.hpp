@@ -1,3 +1,4 @@
+#pragma once
 // Streaming, bounded-memory corpus ingestion: per-source log files ->
 // finalized LogStore + JobTable, without ever holding a full source text
 // or a full line-view vector in memory.
@@ -16,13 +17,23 @@
 // The scheduler source is parsed sequentially (its lines mutate the
 // JobTable in order) but still streams chunk by chunk.
 //
+// Error surface: malformed *lines* are skipped and counted (never fatal),
+// but *stream-level* failures — an I/O error mid-file, an allocation
+// failure mid-pipeline, a missing source file under MissingFilePolicy::
+// Error — stop the run and surface as a structured IngestError on the
+// returned IngestResult, alongside the record-accurate partial store built
+// from everything retired before the failure.  Configuration mistakes
+// (missing/malformed manifest) still throw: they mean there is no corpus,
+// not a damaged one.  The `ingest.*` fault sites (util/fault.hpp) let the
+// sweep in tests/faultinject_test.cpp provoke every degraded ending.
+//
 // Equivalence guarantee, pinned by tests/ingest_test.cpp: for the same
 // corpus bytes, ingest_files() and the in-memory parse_corpus() produce
 // identical ParsedCorpus contents (record order, indexes, line counts).
-#pragma once
 
 #include <cstddef>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +41,17 @@
 #include "parsers/source_parsers.hpp"
 
 namespace hpcfail::parsers {
+
+/// What to do when a per-source log file named by the manifest layout is
+/// absent from the corpus directory.
+enum class MissingFilePolicy {
+  /// Skip the source, like read_corpus (S5 legitimately has no external
+  /// logs) — but count it in `hpcfail.ingest.files_missing` so the skip is
+  /// no longer invisible.
+  Skip,
+  /// Stop and report IngestErrorKind::MissingFile.
+  Error,
+};
 
 struct IngestOptions {
   /// Target chunk size in bytes; a chunk grows past this only when a
@@ -42,6 +64,8 @@ struct IngestOptions {
   std::size_t shard_records = std::size_t{1} << 16;
   /// Pool for chunk parsing and shard sorting; null = shared default pool.
   util::ThreadPool* pool = nullptr;
+  /// Absent source files: skip-with-metric (default) or structured error.
+  MissingFilePolicy missing_file_policy = MissingFilePolicy::Skip;
 };
 
 /// One open source stream; `in` must outlive the ingest call.
@@ -50,16 +74,47 @@ struct SourceStream {
   std::istream* in = nullptr;
 };
 
+enum class IngestErrorKind {
+  StreamIo,     ///< the stream reported badbit/failbit that is not EOF
+  Resource,     ///< std::bad_alloc mid-pipeline (parse, retire, or merge)
+  MissingFile,  ///< a source file is absent and missing_file_policy == Error
+};
+
+[[nodiscard]] std::string_view to_string(IngestErrorKind kind) noexcept;
+
+/// Structured description of why an ingest run stopped early.
+struct IngestError {
+  IngestErrorKind kind = IngestErrorKind::StreamIo;
+  logmodel::LogSource source = logmodel::LogSource::Console;
+  std::string file;             ///< on-disk file, when ingesting a directory
+  std::size_t byte_offset = 0;  ///< stream offset where detected (StreamIo)
+  std::string message;
+
+  /// "<kind> in <source> (<file>, offset N): <message>" one-liner.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// ParsedCorpus plus the explicit error surface.  When `error` is set the
+/// base holds the record-accurate partial result: every record retired
+/// before the failure, finalized and queryable, with total_lines /
+/// parsed_records / skipped_lines accounting for every line seen.
+struct IngestResult : ParsedCorpus {
+  std::optional<IngestError> error;
+
+  [[nodiscard]] bool ok() const noexcept { return !error.has_value(); }
+};
+
 /// Streams a corpus directory (manifest.txt + per-source log files, as
-/// written by loggen::write_corpus).  Absent source files are skipped,
-/// mirroring read_corpus.  Throws on a missing/malformed manifest.
-[[nodiscard]] ParsedCorpus ingest_files(const std::string& dir,
+/// written by loggen::write_corpus).  Absent source files follow
+/// options.missing_file_policy.  Throws on a missing/malformed manifest;
+/// data-plane failures come back as IngestResult::error.
+[[nodiscard]] IngestResult ingest_files(const std::string& dir,
                                         const IngestOptions& options = {});
 
 /// Lower-level entry: `header` carries the manifest fields (system,
 /// topology, window); `sources` are parsed in the canonical source order
 /// regardless of their order in the vector.
-[[nodiscard]] ParsedCorpus ingest_stream(const loggen::Corpus& header,
+[[nodiscard]] IngestResult ingest_stream(const loggen::Corpus& header,
                                          const std::vector<SourceStream>& sources,
                                          const IngestOptions& options = {});
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fault.hpp"
+
 namespace hpcfail::util {
 
 ChunkedLineReader::ChunkedLineReader(std::istream& in, std::size_t chunk_bytes)
@@ -18,10 +20,46 @@ bool ChunkedLineReader::next(std::string& chunk) {
   while (!eof_ && (chunk.size() < chunk_bytes_ || chunk.find('\n') == std::string::npos)) {
     const std::size_t old_size = chunk.size();
     chunk.resize(old_size + chunk_bytes_);
+    if (HPCFAIL_FAULT_SITE("ingest.read.badbit")) in_.setstate(std::ios::badbit);
     in_.read(chunk.data() + old_size, static_cast<std::streamsize>(chunk_bytes_));
-    const auto got = static_cast<std::size_t>(in_.gcount());
+    std::size_t got = static_cast<std::size_t>(in_.gcount());
     chunk.resize(old_size + got);
+    if (in_.bad() || (in_.fail() && !in_.eof())) {
+      // A stream error is not EOF: eofbit means the bytes ran out, badbit
+      // (or failbit without eofbit) means the read itself broke.  Treating
+      // the two alike silently truncates the corpus; fail loud instead.
+      const std::size_t offset = bytes_read_ + chunk.size();
+      throw IoError("stream I/O error (not EOF) after byte offset " +
+                        std::to_string(offset),
+                    offset);
+    }
+    if (HPCFAIL_FAULT_SITE("ingest.read.short_read")) {
+      // Simulate a device short read: hand back half the bytes and behave
+      // as if the stream ended there (truncation, not an error).
+      got /= 2;
+      chunk.resize(old_size + got);
+    }
     if (got < chunk_bytes_) eof_ = true;
+  }
+
+  if (HPCFAIL_FAULT_SITE("ingest.read.torn_chunk")) {
+    // Garble a run of payload bytes (newlines kept, so line accounting is
+    // unchanged): the damaged lines must be skipped and counted, never
+    // crash a parser.
+    const std::size_t begin = chunk.size() / 3;
+    const std::size_t end = std::min(chunk.size(), begin + 64);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (chunk[i] != '\n') chunk[i] = '\x01';
+    }
+  }
+  if (HPCFAIL_FAULT_SITE("ingest.read.midline_eof")) {
+    // Cut the stream in the middle of the chunk's final line.
+    const std::size_t last_nl = chunk.rfind('\n');
+    if (last_nl != std::string::npos && last_nl + 2 < chunk.size()) {
+      chunk.resize(last_nl + 1 + (chunk.size() - last_nl - 1) / 2);
+    }
+    eof_ = true;
+    carry_.clear();
   }
 
   if (!eof_) {

@@ -12,13 +12,32 @@
 //   - a final line without a trailing '\n' is returned as-is;
 //   - CRLF line endings pass through untouched (util::split_lines strips
 //     the '\r' when the chunk is split into line views).
+//
+// Error behaviour: end-of-file is NOT the only way a stream stops.  A read
+// that leaves the stream bad() — or fail() without eof() — is a stream I/O
+// error, and next() throws IoError carrying the byte offset instead of
+// quietly treating the error as EOF (which would silently truncate the
+// corpus and mis-diagnose the analysis input).  The `ingest.read.*` fault
+// sites (util/fault.hpp) let tests provoke each degraded ending on demand.
 #pragma once
 
 #include <cstddef>
 #include <istream>
+#include <stdexcept>
 #include <string>
 
 namespace hpcfail::util {
+
+/// A stream I/O failure that is not end-of-file, thrown with the stream
+/// offset (bytes consumed before the error) so the operator can locate the
+/// corruption instead of guessing from a truncated analysis.
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what), byte_offset(offset) {}
+
+  std::size_t byte_offset = 0;
+};
 
 class ChunkedLineReader {
  public:
@@ -28,6 +47,7 @@ class ChunkedLineReader {
   /// Fills `chunk` with the next run of complete lines (~chunk_bytes of
   /// text, extended to the last '\n'; the final chunk may lack one).
   /// Returns false — with `chunk` empty — once the stream is exhausted.
+  /// Throws IoError when the stream reports an error that is not EOF.
   [[nodiscard]] bool next(std::string& chunk);
 
   /// Bytes handed out so far (chunk payloads, including newlines).

@@ -1,0 +1,7 @@
+// Fixture: fault-site inventory matching the uses in fault_user.cpp.
+#include "util/fault.hpp"
+
+constexpr const char* kSites[] = {
+    "ingest.read.badbit",
+    "store.append_batch.bad_alloc",
+};

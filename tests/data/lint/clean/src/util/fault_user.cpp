@@ -1,0 +1,8 @@
+// Fixture: production code using exactly the registered fault sites.
+#include "util/fault.hpp"
+
+bool read_chunk() {
+  if (HPCFAIL_FAULT_SITE("ingest.read.badbit")) return false;
+  if (HPCFAIL_FAULT_SITE("store.append_batch.bad_alloc")) return false;
+  return true;
+}

@@ -1,0 +1,6 @@
+// Fixture: drifted fault-site inventory for the fault-sites check.
+constexpr const char* kSites[] = {
+    "ingest.read.badbit",
+    "store.gone.bad_alloc",
+    "ingest.retire.bad_alloc",
+};

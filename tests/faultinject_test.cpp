@@ -1,0 +1,276 @@
+// Self-fault-injection sweep (the ISSUE 7 tentpole harness): every
+// registered fault site (util/fault.hpp) is armed one at a time against the
+// full simulate -> write -> ingest pipeline, and every run must end in one
+// of exactly two ways — a structured error (IngestError, or the writers'
+// fail-loud std::runtime_error) or a record-accurate partial result whose
+// metrics account for every line seen.  No crash, no hang, no silent
+// truncation.  CI repeats this suite under ASan.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <new>
+#include <stdexcept>
+#include <string>
+
+#include "faultsim/scenario_io.hpp"
+#include "faultsim/simulator.hpp"
+#include "loggen/corpus.hpp"
+#include "parsers/corpus_parser.hpp"
+#include "parsers/ingest.hpp"
+#include "util/fault.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace hpcfail {
+namespace {
+
+using util::FaultInjector;
+
+/// RAII install/uninstall so a failing assertion can't leak an armed
+/// injector into the next test.
+class ScopedInjector {
+ public:
+  explicit ScopedInjector(FaultInjector& inj) { util::install_fault_injector(&inj); }
+  ~ScopedInjector() { util::install_fault_injector(nullptr); }
+  ScopedInjector(const ScopedInjector&) = delete;
+  ScopedInjector& operator=(const ScopedInjector&) = delete;
+};
+
+loggen::Corpus small_corpus() {
+  const auto sim =
+      faultsim::Simulator(faultsim::scenario_preset(platform::SystemName::S2, 1, 4242))
+          .run();
+  return loggen::build_corpus(sim);
+}
+
+std::map<std::string, std::uint64_t> counter_map(const util::MetricsRegistry& registry) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, value] : registry.counters()) out[name] = value;
+  return out;
+}
+
+// ------------------------------------------------------- injector unit ----
+
+TEST(FaultInjectorTest, UnknownSiteThrows) {
+  FaultInjector inj;
+  EXPECT_THROW(inj.arm("ingest.read.no_such_site"), std::invalid_argument);
+  EXPECT_THROW(inj.arm_spec("definitely.not.a.site:1"), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, SpecGrammar) {
+  FaultInjector inj;
+  inj.arm_spec("ingest.read.badbit:3,store.append_batch.bad_alloc");
+  EXPECT_FALSE(inj.hit("ingest.read.badbit"));
+  EXPECT_FALSE(inj.hit("ingest.read.badbit"));
+  EXPECT_TRUE(inj.hit("ingest.read.badbit"));   // third hit fires
+  EXPECT_FALSE(inj.hit("ingest.read.badbit"));  // fires exactly once
+  EXPECT_TRUE(inj.hit("store.append_batch.bad_alloc"));  // default n = 1
+  EXPECT_EQ(inj.hits("ingest.read.badbit"), 4u);
+  EXPECT_EQ(inj.fires("ingest.read.badbit"), 1u);
+  EXPECT_EQ(inj.total_fires(), 2u);
+
+  FaultInjector bad;
+  EXPECT_THROW(bad.arm_spec(""), std::invalid_argument);
+  EXPECT_THROW(bad.arm_spec("ingest.read.badbit:"), std::invalid_argument);
+  EXPECT_THROW(bad.arm_spec("ingest.read.badbit:0"), std::invalid_argument);
+  EXPECT_THROW(bad.arm_spec("ingest.read.badbit:two"), std::invalid_argument);
+  EXPECT_THROW(bad.arm_spec("ingest.read.badbit,,"), std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, UnarmedSitesAreFree) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.hit("ingest.read.badbit"));
+  EXPECT_EQ(inj.hits("ingest.read.badbit"), 0u);
+  // Nothing installed: sites pass straight through.
+  EXPECT_FALSE(util::fault_should_fire("ingest.read.badbit"));
+}
+
+TEST(FaultInjectorTest, InventoryIsSortedUniqueAndStyled) {
+  const auto sites = FaultInjector::sites();
+  ASSERT_FALSE(sites.empty());
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(sites[i - 1], sites[i]) << "inventory must be sorted/unique";
+    }
+    // <layer>.<component>.<kind>, lowercase snake_case segments.
+    std::size_t segments = 1;
+    for (const char c : sites[i]) {
+      if (c == '.') {
+        ++segments;
+        continue;
+      }
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')
+          << "bad character in site name " << sites[i];
+    }
+    EXPECT_GE(segments, 3u) << sites[i];
+  }
+}
+
+// --------------------------------------------------- targeted regressions ----
+
+/// The EOF-conflation bug class: a stream error mid-corpus must surface as
+/// a structured StreamIo error with the byte offset — never parse as a
+/// quietly shorter corpus (the pre-PR7 behavior).
+TEST(FaultInjectTest, BadbitSurfacesAsStructuredErrorNotTruncation) {
+  const loggen::Corpus corpus = small_corpus();
+  const auto reference = parsers::parse_corpus(corpus);
+  const std::string dir = "/tmp/hpcfail_faultinject_badbit";
+  std::filesystem::remove_all(dir);
+  loggen::write_corpus(corpus, dir);
+
+  FaultInjector inj;
+  inj.arm("ingest.read.badbit", 3);  // mid-file, not the first read
+  const ScopedInjector scope(inj);
+  parsers::IngestOptions options;
+  options.chunk_bytes = 4096;  // many reads per file, so hit 3 is mid-stream
+  const auto result = parsers::ingest_files(dir, options);
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->kind, parsers::IngestErrorKind::StreamIo);
+  EXPECT_GT(result.error->byte_offset, 0u);
+  EXPECT_NE(result.error->message.find("not EOF"), std::string::npos);
+  EXPECT_NE(result.error->file.find(".log"), std::string::npos);
+  EXPECT_NE(result.error->to_string().find("stream-io"), std::string::npos);
+  // The partial result is smaller than the full parse, and says so.
+  EXPECT_LT(result.parsed_records, reference.parsed_records);
+  EXPECT_EQ(result.parsed_records + result.skipped_lines, result.total_lines);
+  EXPECT_EQ(inj.fires("ingest.read.badbit"), 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FaultInjectTest, MissingFilePolicySkipCountsAndErrorStops) {
+  const loggen::Corpus corpus = small_corpus();
+  const std::string dir = "/tmp/hpcfail_faultinject_missing";
+  std::filesystem::remove_all(dir);
+  loggen::write_corpus(corpus, dir);
+  // The S2 corpus has no consumer log, so one source file is already
+  // legitimately absent; deleting the console log adds a second.
+  ASSERT_TRUE(std::filesystem::remove(std::filesystem::path(dir) / "p0-console.log"));
+
+  util::MetricsRegistry registry;
+  util::install_metrics(&registry);
+  parsers::IngestOptions options;
+  {
+    util::ThreadPool pool(2);
+    options.pool = &pool;
+    const auto skipped = parsers::ingest_files(dir, options);
+    EXPECT_TRUE(skipped.ok());  // today's behavior, but no longer invisible:
+    EXPECT_EQ(counter_map(registry)["hpcfail.ingest.files_missing"], 2u);
+    EXPECT_GT(skipped.parsed_records, 0u);
+  }
+  util::install_metrics(nullptr);
+  options.pool = nullptr;
+
+  // Error policy stops on the first absent source in canonical order.
+  options.missing_file_policy = parsers::MissingFilePolicy::Error;
+  const auto stopped = parsers::ingest_files(dir, options);
+  ASSERT_FALSE(stopped.ok());
+  EXPECT_EQ(stopped.error->kind, parsers::IngestErrorKind::MissingFile);
+  EXPECT_EQ(stopped.error->source, logmodel::LogSource::Console);
+  EXPECT_NE(stopped.error->file.find("p0-console.log"), std::string::npos);
+  EXPECT_EQ(stopped.parsed_records, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------------- the sweep ----
+
+/// One full pipeline pass under an armed site: scenario serialization,
+/// corpus write, chunked ingest.  Returns via gtest assertions only.
+void run_armed_pipeline(const std::string& site) {
+  SCOPED_TRACE("armed site: " + site);
+  const auto config = faultsim::scenario_preset(platform::SystemName::S2, 1, 4242);
+  const loggen::Corpus corpus = small_corpus();
+  const auto reference = parsers::parse_corpus(corpus);
+  const std::string dir = "/tmp/hpcfail_faultinject_sweep";
+  std::filesystem::remove_all(dir);
+
+  FaultInjector inj;
+  inj.arm(site, 2);  // not the first hit: mid-run faults are the hard case
+  util::MetricsRegistry registry;
+  util::install_metrics(&registry);
+  const ScopedInjector scope(inj);
+
+  // Stage 1+2: the writers (scenario serialization, corpus files).  Either
+  // they succeed or they fail loud; a thrown writer error ends this site's
+  // sweep entry — there is nothing to ingest.
+  bool wrote = false;
+  try {
+    (void)faultsim::scenario_to_string(config);
+    (void)faultsim::scenario_to_string(config);  // second hit for n=2 schedules
+    loggen::write_corpus(corpus, dir);
+    wrote = true;
+  } catch (const std::bad_alloc&) {
+    // structured enough: allocation fault escaped before any file existed
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("write_corpus"), std::string::npos)
+        << "writer failure must name the writer, got: " << e.what();
+  }
+
+  if (wrote) {
+    // Stage 3: chunked ingest with small chunks so mid-corpus sites hit
+    // several times per file, on a 2-thread pool.
+    parsers::IngestOptions options;
+    options.chunk_bytes = 4096;
+    parsers::IngestResult result;
+    {
+      util::ThreadPool pool(2);
+      options.pool = &pool;
+      result = parsers::ingest_files(dir, options);
+    }
+
+    if (result.ok()) {
+      // Graceful degradation: a record-accurate partial (or full) result.
+      // Every line seen is either a record or an accounted skip, and the
+      // counters agree with the in-memory totals.
+      EXPECT_EQ(result.parsed_records + result.skipped_lines, result.total_lines);
+      EXPECT_EQ(result.parsed_records, result.store.size());
+      EXPECT_LE(result.parsed_records, reference.parsed_records);
+      const auto counters = counter_map(registry);
+      EXPECT_EQ(counters.at("hpcfail.ingest.records_parsed"), result.parsed_records);
+      EXPECT_EQ(counters.at("hpcfail.ingest.lines_skipped"), result.skipped_lines);
+      if (inj.total_fires() > 0 && site.rfind("ingest.", 0) == 0) {
+        EXPECT_GE(counters.at("hpcfail.ingest.faults_injected"), 1u);
+      }
+    } else {
+      // Structured failure: kind + message + source set, and the partial
+      // store still accounts for exactly what was retired.
+      EXPECT_FALSE(result.error->message.empty());
+      EXPECT_EQ(result.parsed_records + result.skipped_lines, result.total_lines);
+      EXPECT_EQ(result.parsed_records, result.store.size());
+    }
+  }
+
+  util::install_metrics(nullptr);
+  // The site must actually have fired: a sweep that never reaches its
+  // sites proves nothing.  Every site in the inventory is hit at least
+  // twice per pipeline pass, so the nth=2 schedule always lands.
+  EXPECT_EQ(inj.fires(site), 1u)
+      << "site " << site << " never fired (hits=" << inj.hits(site) << ")";
+  std::filesystem::remove_all(dir);
+}
+
+class FaultSiteSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FaultSiteSweep, DegradesGracefullyOrFailsStructured) {
+  run_armed_pipeline(GetParam());
+}
+
+std::vector<std::string> all_sites() {
+  std::vector<std::string> out;
+  for (const auto site : FaultInjector::sites()) out.emplace_back(site);
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSites, FaultSiteSweep, ::testing::ValuesIn(all_sites()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace hpcfail

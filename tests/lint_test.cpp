@@ -150,6 +150,35 @@ TEST(LintMetricNaming, DriftedInstrumentNamesAreDiagnosedExactly) {
             }));
 }
 
+TEST(LintFaultSites, DriftedSitesAndInventoryAreDiagnosedExactly) {
+  const Report report = run_checks(fixture("fault_drift"), {"fault-sites"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/parsers/pipeline.cpp:6: error: [fault-sites] fault site "
+                "'ingest.read.badbit' is already declared at "
+                "src/parsers/pipeline.cpp:5; site names must be unique across the "
+                "tree",
+                "src/parsers/pipeline.cpp:7: error: [fault-sites] fault site "
+                "'ingest.Read.torn' drifts from <layer>.<component>.<kind> "
+                "(lowercase snake_case dot segments, at least three)",
+                "src/parsers/pipeline.cpp:7: error: [fault-sites] fault site "
+                "'ingest.Read.torn' is not listed in the kSites inventory "
+                "(src/util/fault.cpp); the sweep harness cannot arm it",
+                "src/parsers/pipeline.cpp:8: error: [fault-sites] fault site "
+                "'parse.oops' drifts from <layer>.<component>.<kind> (lowercase "
+                "snake_case dot segments, at least three)",
+                "src/parsers/pipeline.cpp:8: error: [fault-sites] fault site "
+                "'parse.oops' is not listed in the kSites inventory "
+                "(src/util/fault.cpp); the sweep harness cannot arm it",
+                "src/util/fault.cpp:4: error: [fault-sites] kSites entry "
+                "'store.gone.bad_alloc' has no HPCFAIL_FAULT_SITE use in the tree; "
+                "remove it or wire the site",
+                "src/util/fault.cpp:5: error: [fault-sites] kSites entry "
+                "'ingest.retire.bad_alloc' is out of order; the inventory stays "
+                "sorted so the sweep enumeration is stable",
+            }));
+}
+
 TEST(LintCaptureLifetime, ByRefCapturesIntoPoolSinksAreDiagnosedExactly) {
   const Report report = run_checks(fixture("capture_drift"), {"capture-lifetime"});
   EXPECT_EQ(rendered(report),
@@ -370,8 +399,8 @@ TEST(LintClean, ConsistentFixtureTreePasses) {
   const Report report = run_checks(
       fixture("clean"),
       {"erd-table", "event-names", "corpus-files", "banned-pattern",
-       "header-hygiene", "bench-pipeline", "metric-naming", "capture-lifetime",
-       "dangling-view", "finalize-protocol", "raw-sync"});
+       "header-hygiene", "bench-pipeline", "metric-naming", "fault-sites",
+       "capture-lifetime", "dangling-view", "finalize-protocol", "raw-sync"});
   EXPECT_TRUE(report.ok()) << (report.ok() ? std::string{}
                                            : rendered(report).front());
 }

@@ -3,6 +3,9 @@
 // sources — must degrade the analysis gracefully, never crash it.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+
 #include "core/analysis_context.hpp"
 #include "core/leadtime.hpp"
 #include "core/root_cause.hpp"
@@ -10,6 +13,7 @@
 #include "loggen/corpus.hpp"
 #include "loggen/degrade.hpp"
 #include "parsers/corpus_parser.hpp"
+#include "parsers/ingest.hpp"
 
 namespace hpcfail {
 namespace {
@@ -97,6 +101,87 @@ TEST(RobustnessTest, DroppingExternalSourcesKillsLeadTimeOnly) {
   // (the S5 situation, Observation 5).
   const core::LeadTimeAnalyzer analyzer(parsed.store);
   EXPECT_EQ(analyzer.summarize(failures).enhanceable, 0u);
+}
+
+// --- Corruption matrix -----------------------------------------------------
+//
+// Each case damages the corpus *text* in memory in a specific way, then
+// checks that the streaming chunked ingest of the damaged bytes produces
+// byte-for-byte the same accounting (total / parsed / skipped lines, store
+// size) as the in-memory parse of the same damaged text.  This pins the
+// skip bookkeeping exactly: damage may cost records, but never accounting.
+
+/// Writes `corpus` to a scratch dir and streams it back with deliberately
+/// small chunks so the damage spans chunk boundaries.
+parsers::IngestResult ingest_damaged(const loggen::Corpus& corpus) {
+  const std::string dir = "/tmp/hpcfail_robustness_corruption";
+  std::filesystem::remove_all(dir);
+  loggen::write_corpus(corpus, dir);
+  parsers::IngestOptions options;
+  options.chunk_bytes = 4096;
+  auto result = parsers::ingest_files(dir, options);
+  std::filesystem::remove_all(dir);
+  return result;
+}
+
+void expect_accounting_matches(const loggen::Corpus& damaged) {
+  const auto reference = parsers::parse_corpus(damaged);
+  const auto streamed = ingest_damaged(damaged);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(streamed.total_lines, reference.total_lines);
+  EXPECT_EQ(streamed.parsed_records, reference.parsed_records);
+  EXPECT_EQ(streamed.skipped_lines, reference.skipped_lines);
+  EXPECT_EQ(streamed.store.size(), reference.store.size());
+  EXPECT_EQ(streamed.parsed_records + streamed.skipped_lines, streamed.total_lines);
+}
+
+TEST(CorruptionMatrixTest, GarbledBytesMidRecord) {
+  loggen::Corpus damaged = baseline().corpus;
+  std::string& text = damaged.of(logmodel::LogSource::Console);
+  ASSERT_GT(text.size(), 9000u);
+  // Stomp a 64-byte window in the middle of the file with non-newline
+  // garbage, straddling whatever record happens to live there.
+  for (std::size_t i = text.size() / 2; i < text.size() / 2 + 64; ++i) {
+    if (text[i] != '\n') text[i] = '\x01';
+  }
+  expect_accounting_matches(damaged);
+}
+
+TEST(CorruptionMatrixTest, NulBytesInsideLines) {
+  loggen::Corpus damaged = baseline().corpus;
+  std::string& text = damaged.of(logmodel::LogSource::Messages);
+  ASSERT_GT(text.size(), 4096u);
+  // NUL every 97th byte (skipping newlines): binary junk must flow through
+  // the chunked reader and the line splitter without truncating anything.
+  for (std::size_t i = 0; i < text.size(); i += 97) {
+    if (text[i] != '\n') text[i] = '\0';
+  }
+  expect_accounting_matches(damaged);
+}
+
+TEST(CorruptionMatrixTest, SingleLineLongerThanChunk) {
+  loggen::Corpus damaged = baseline().corpus;
+  std::string& text = damaged.of(logmodel::LogSource::Console);
+  // Splice one 3-chunk monster line into the middle of the file (on a line
+  // boundary): the reader must grow its chunk past chunk_bytes rather than
+  // splitting the line, and the line counts as exactly one skip.
+  const std::size_t newline = text.find('\n', text.size() / 2);
+  ASSERT_NE(newline, std::string::npos);
+  text.insert(newline + 1, std::string(3 * 4096, 'x') + '\n');
+  expect_accounting_matches(damaged);
+}
+
+TEST(CorruptionMatrixTest, MidLineEof) {
+  loggen::Corpus damaged = baseline().corpus;
+  std::string& text = damaged.of(logmodel::LogSource::Controller);
+  ASSERT_GT(text.size(), 2u);
+  // Cut the file mid-line: drop the final newline plus half of the last
+  // record.  The dangling partial line is still a line — seen, skipped,
+  // and counted identically by both paths.
+  const std::size_t last_newline = text.find_last_of('\n', text.size() - 2);
+  ASSERT_NE(last_newline, std::string::npos);
+  text.resize(last_newline + 1 + (text.size() - last_newline - 1) / 2);
+  expect_accounting_matches(damaged);
 }
 
 TEST(RobustnessTest, DegradeIsDeterministic) {

@@ -19,6 +19,7 @@
 #include "faultsim/simulator.hpp"
 #include "loggen/corpus.hpp"
 #include "parsers/ingest.hpp"
+#include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
 #include "util/trace.hpp"
@@ -46,8 +47,14 @@ void usage(std::FILE* to) {
       "  --keep             keep the --preset temp directory\n"
       "  --metrics-out F    write pipeline counters/histograms to F (JSON)\n"
       "  --trace-out F      write spans to F (chrome://tracing JSON)\n"
+      "  --fault SPEC       arm deterministic fault sites for repro:\n"
+      "                     <site>[:<n>][,<site>[:<n>]...] fires the n-th\n"
+      "                     hit of each site (also via HPCFAIL_FAULT env;\n"
+      "                     --fault list prints the site inventory)\n"
       "\n"
-      "--metrics-out and --trace-out also accept --opt=FILE form.\n",
+      "--metrics-out, --trace-out and --fault also accept --opt=VALUE form.\n"
+      "A faulted run that ends in a structured ingest error exits 3 (the\n"
+      "partial-result accounting is still printed).\n",
       to);
 }
 
@@ -89,6 +96,7 @@ int main(int argc, char** argv) {
   bool keep = false;
   std::string metrics_path;
   std::string trace_path;
+  std::string fault_spec;
   parsers::IngestOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -131,11 +139,21 @@ int main(int argc, char** argv) {
       trace_path = value();
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_path = arg.substr(std::string_view("--trace-out=").size());
+    } else if (arg == "--fault") {
+      fault_spec = value();
+    } else if (arg.rfind("--fault=", 0) == 0) {
+      fault_spec = arg.substr(std::string_view("--fault=").size());
     } else {
       std::fprintf(stderr, "hpcfail-ingest: unknown option '%s'\n", argv[i]);
       usage(stderr);
       return 2;
     }
+  }
+  if (fault_spec == "list") {
+    for (const auto site : util::FaultInjector::sites()) {
+      std::printf("%.*s\n", static_cast<int>(site.size()), site.data());
+    }
+    return 0;
   }
   if (dir.empty() == !preset) {
     std::fputs("hpcfail-ingest: pass exactly one of --dir or --preset\n", stderr);
@@ -147,8 +165,21 @@ int main(int argc, char** argv) {
   // block; installed only when the matching flag was passed.
   util::MetricsRegistry registry;
   util::TraceRecorder recorder;
+  util::FaultInjector injector;
   if (!metrics_path.empty()) util::install_metrics(&registry);
   if (!trace_path.empty()) util::install_trace(&recorder);
+  if (fault_spec.empty()) {
+    if (const char* env = std::getenv("HPCFAIL_FAULT")) fault_spec = env;
+  }
+  if (!fault_spec.empty()) {
+    try {
+      injector.arm_spec(fault_spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hpcfail-ingest: %s\n", e.what());
+      return 2;
+    }
+    util::install_fault_injector(&injector);
+  }
 
   try {
     bool scratch = false;
@@ -193,6 +224,21 @@ int main(int argc, char** argv) {
     if (!trace_path.empty()) {
       std::ofstream(trace_path) << recorder.to_chrome_json() << '\n';
       std::printf("trace           %s\n", trace_path.c_str());
+    }
+    if (!fault_spec.empty()) {
+      for (const auto& line : injector.summary()) {
+        std::printf("fault           %s\n", line.c_str());
+      }
+    }
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "hpcfail-ingest: ingest error: %s\n",
+                   parsed.error->to_string().c_str());
+      std::fprintf(stderr,
+                   "hpcfail-ingest: partial result above covers %zu records "
+                   "(%zu lines seen, %zu skipped)\n",
+                   parsed.parsed_records, parsed.total_lines, parsed.skipped_lines);
+      if (scratch) std::filesystem::remove_all(dir);
+      return 3;
     }
 
     if (scratch) std::filesystem::remove_all(dir);

@@ -118,6 +118,7 @@ constexpr const char* kClassifierCpp = "src/parsers/line_classifier.cpp";
 constexpr const char* kEventTypeHpp = "src/logmodel/event_type.hpp";
 constexpr const char* kEventTypeCpp = "src/logmodel/event_type.cpp";
 constexpr const char* kCorpusCpp = "src/loggen/corpus.cpp";
+constexpr const char* kFaultCpp = "src/util/fault.cpp";
 constexpr const char* kFormatsMd = "FORMATS.md";
 
 /// EventType enumerators of event_type.hpp, in declaration order.
@@ -686,6 +687,95 @@ void check_metric_naming(SourceTree& tree, Report& report) {
 }
 
 // ---------------------------------------------------------------------------
+// Check: fault-sites
+// ---------------------------------------------------------------------------
+
+void check_fault_sites(SourceTree& tree, Report& report) {
+  const std::string check = "fault-sites";
+  // <layer>.<component>.<kind>: lowercase snake_case dot segments, >= 3.
+  static const std::regex name_re(
+      R"(^[a-z0-9]+(_[a-z0-9]+)*(\.[a-z0-9]+(_[a-z0-9]+)*){2,}$)");
+  static const std::regex site_use(R"#(HPCFAIL_FAULT_SITE\(\s*"([^"\\]+)"\s*\))#");
+  // Doc comments quote example sites (util/fault.hpp's header comment).
+  static const std::regex comment_line(R"(^\s*//)");
+
+  // The inventory side: the kSites table in src/util/fault.cpp.
+  const auto* fault_cpp = load(tree, kFaultCpp, check, report);
+  if (fault_cpp == nullptr) return;
+  const auto body = body_of(*fault_cpp, "kSites");
+  if (!body) {
+    report.add(kFaultCpp, 0, check, "no kSites inventory array found");
+    return;
+  }
+  static const std::regex entry_re(R"#("([^"\\]+)")#");
+  const auto inventory = scan(*fault_cpp, *body, entry_re);
+  std::set<std::string> inventoried;
+  for (const auto& e : inventory) inventoried.insert(e.key);
+
+  // The code side: every HPCFAIL_FAULT_SITE literal under src/tools/bench.
+  struct Use {
+    std::string file;
+    std::size_t line = 0;
+  };
+  std::map<std::string, Use> first_use;
+  for (const char* top : {"src", "tools", "bench"}) {
+    if (!tree.exists(top)) continue;
+    for (const auto& rel : tree.files_under(top)) {
+      // The linter's own sources and tests quote drifted names.
+      if (rel.rfind("tools/hpcfail-lint/", 0) == 0) continue;
+      const auto* file = load(tree, rel, check, report);
+      if (file == nullptr) continue;
+      for (std::size_t n = 1; n <= file->lines.size(); ++n) {
+        const std::string& text = file->lines[n - 1];
+        if (std::regex_search(text, comment_line)) continue;
+        if (text.find("hpcfail-lint: allow(fault-sites)") != std::string::npos) continue;
+        for (auto it = std::sregex_iterator(text.begin(), text.end(), site_use);
+             it != std::sregex_iterator(); ++it) {
+          const std::string name = (*it)[1].str();
+          const auto [slot, inserted] = first_use.emplace(name, Use{rel, n});
+          if (!inserted) {
+            report.add(rel, n, check,
+                       "fault site '" + name + "' is already declared at " +
+                           slot->second.file + ":" + std::to_string(slot->second.line) +
+                           "; site names must be unique across the tree");
+            continue;
+          }
+          if (!std::regex_match(name, name_re)) {
+            report.add(rel, n, check,
+                       "fault site '" + name +
+                           "' drifts from <layer>.<component>.<kind> (lowercase "
+                           "snake_case dot segments, at least three)");
+          }
+          if (inventoried.count(name) == 0) {
+            report.add(rel, n, check,
+                       "fault site '" + name + "' is not listed in the kSites inventory (" +
+                           std::string(kFaultCpp) + "); the sweep harness cannot arm it");
+          }
+        }
+      }
+    }
+  }
+
+  // Inventory entries must be live and stay sorted (the sweep enumerates
+  // them in order; a stale entry makes the sweep arm a site nothing hits).
+  for (std::size_t i = 0; i < inventory.size(); ++i) {
+    const auto& e = inventory[i];
+    if (first_use.count(e.key) == 0) {
+      report.add(kFaultCpp, e.line, check,
+                 "kSites entry '" + e.key +
+                     "' has no HPCFAIL_FAULT_SITE use in the tree; remove it or wire "
+                     "the site");
+    }
+    if (i > 0 && !(inventory[i - 1].key < e.key)) {
+      report.add(kFaultCpp, e.line, check,
+                 "kSites entry '" + e.key +
+                     "' is out of order; the inventory stays sorted so the sweep "
+                     "enumeration is stable");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------------
 
@@ -727,6 +817,10 @@ const std::vector<CheckDef>& registry() {
       {{"metric-naming", Severity::Error,
         "Instrument names follow hpcfail.<layer>.<snake_case>"},
        &check_metric_naming},
+      {{"fault-sites", Severity::Error,
+        "HPCFAIL_FAULT_SITE names are unique, well-formed and in sync with the "
+        "kSites inventory"},
+       &check_fault_sites},
       {{"capture-lifetime", Severity::Error,
         "Lambdas queued on the ThreadPool must not capture by reference (PR 1 "
         "use-after-scope class)"},

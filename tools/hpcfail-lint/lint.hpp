@@ -114,6 +114,16 @@ void check_bench_pipeline(SourceTree& tree, Report& report);
 /// "hpcfail-lint: allow(metric-naming)".
 void check_metric_naming(SourceTree& tree, Report& report);
 
+/// Fault-site inventory: every HPCFAIL_FAULT_SITE("...") literal in src/,
+/// tools/ and bench/ must be unique across the tree, follow the
+/// `<layer>.<component>.<kind>` naming style (lowercase snake_case dot
+/// segments, at least three), and appear in the kSites inventory of
+/// src/util/fault.cpp — and every inventory entry must have a code use, so
+/// the sweep harness (tests/faultinject_test.cpp) really enumerates every
+/// injection point.  Suppress a line with
+/// "hpcfail-lint: allow(fault-sites)".
+void check_fault_sites(SourceTree& tree, Report& report);
+
 // ---------------------------------------------------------------------------
 // Semantic checks (token level, cxx_model.hpp)
 //
