@@ -66,6 +66,20 @@ class JobTable {
   /// All jobs whose [start, end) contains `t`.
   [[nodiscard]] std::vector<const JobInfo*> running_at(util::TimePoint t) const;
 
+  /// Registers the table as flat sections under `prefix`: fixed-width
+  /// 64-byte job rows, an interned string pool for user/app/reason texts,
+  /// the job -> nodes lists as a CSR, and `by_node_` exactly as built
+  /// (its per-node runs sort ties arbitrarily, so serializing the index
+  /// rather than rebuilding it keeps loaded query results identical).
+  /// The table must be finalized.
+  void append_sections(util::Sections& out, const std::string& prefix) const;
+
+  /// Rebuilds a finalized table from its sections (by_id_ is re-derived —
+  /// it is a plain inverse of the job rows).  Throws util::SectionError on
+  /// out-of-range string ids, node lists or index entries.
+  [[nodiscard]] static JobTable from_sections(const util::SectionMap& in,
+                                              const std::string& prefix);
+
  private:
   std::vector<JobInfo> jobs_;
   std::unordered_map<std::int64_t, std::size_t> by_id_;

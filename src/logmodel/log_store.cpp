@@ -1,8 +1,8 @@
 #include "logmodel/log_store.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
+#include <string>
 
 namespace hpcfail::logmodel {
 
@@ -17,7 +17,17 @@ LogStore::LogStore(std::vector<LogRecord> records, SymbolTable symbols)
 }
 
 LogStore LogStore::from_sorted(std::vector<LogRecord> records, SymbolTable symbols) {
-  assert(std::is_sorted(records.begin(), records.end(), time_less));
+  // A violated precondition here poisons every later binary search over
+  // the time column, so it fails loud in every build — release included —
+  // instead of an assert that vanishes under NDEBUG.
+  const auto breach = std::is_sorted_until(records.begin(), records.end(), time_less);
+  if (breach != records.end()) {
+    throw std::logic_error(
+        "LogStore::from_sorted: records are not time-ordered (record " +
+        std::to_string(breach - records.begin()) + " moves backwards from " +
+        std::to_string((breach - 1)->time.usec) + " to " +
+        std::to_string(breach->time.usec) + " usec)");
+  }
   LogStore store;
   store.records_ = std::move(records);
   store.symbols_ = std::move(symbols);
@@ -55,7 +65,7 @@ void LogStore::build_indexes() {
   by_node_ = CsrIndex{};
   by_blade_ = CsrIndex{};
   by_cabinet_ = CsrIndex{};
-  std::vector<std::uint32_t> type_counts(kEventTypeCount, 0);
+  by_type_ = CsrIndex{};
   std::uint32_t node_keys = 0;
   std::uint32_t blade_keys = 0;
   std::uint32_t cabinet_keys = 0;
@@ -63,11 +73,11 @@ void LogStore::build_indexes() {
     if (r.has_node()) node_keys = std::max(node_keys, r.node.value + 1);
     if (r.has_blade()) blade_keys = std::max(blade_keys, r.blade.value + 1);
     if (r.has_cabinet()) cabinet_keys = std::max(cabinet_keys, r.cabinet.value + 1);
-    ++type_counts[static_cast<std::size_t>(r.type)];
   }
   if (node_keys != 0) by_node_.offsets.assign(std::size_t{node_keys} + 1, 0);
   if (blade_keys != 0) by_blade_.offsets.assign(std::size_t{blade_keys} + 1, 0);
   if (cabinet_keys != 0) by_cabinet_.offsets.assign(std::size_t{cabinet_keys} + 1, 0);
+  if (n != 0) by_type_.offsets.assign(kEventTypeCount + 1, 0);
 
   // An empty offsets array implies no record carries that key, so the
   // guarded subscripts below are never reached for it.
@@ -75,6 +85,7 @@ void LogStore::build_indexes() {
     if (r.has_node()) ++by_node_.offsets[r.node.value + 1];
     if (r.has_blade()) ++by_blade_.offsets[r.blade.value + 1];
     if (r.has_cabinet()) ++by_cabinet_.offsets[r.cabinet.value + 1];
+    ++by_type_.offsets[static_cast<std::size_t>(r.type) + 1];
   }
   const auto prefix_sum = [](CsrIndex& idx) {
     for (std::size_t k = 1; k < idx.offsets.size(); ++k) idx.offsets[k] += idx.offsets[k - 1];
@@ -83,18 +94,18 @@ void LogStore::build_indexes() {
   prefix_sum(by_node_);
   prefix_sum(by_blade_);
   prefix_sum(by_cabinet_);
+  prefix_sum(by_type_);
 
   std::vector<std::uint32_t> node_cur = by_node_.offsets;
   std::vector<std::uint32_t> blade_cur = by_blade_.offsets;
   std::vector<std::uint32_t> cabinet_cur = by_cabinet_.offsets;
-  by_type_.assign(kEventTypeCount, {});
-  for (std::size_t t = 0; t < kEventTypeCount; ++t) by_type_[t].reserve(type_counts[t]);
+  std::vector<std::uint32_t> type_cur = by_type_.offsets;
   for (std::uint32_t i = 0; i < n; ++i) {
     const LogRecord& r = records_[i];
     if (r.has_node()) by_node_.entries[node_cur[r.node.value]++] = i;
     if (r.has_blade()) by_blade_.entries[blade_cur[r.blade.value]++] = i;
     if (r.has_cabinet()) by_cabinet_.entries[cabinet_cur[r.cabinet.value]++] = i;
-    by_type_[static_cast<std::size_t>(r.type)].push_back(i);
+    by_type_.entries[type_cur[static_cast<std::size_t>(r.type)]++] = i;
   }
 
   // Distinct node ids fall out of the offsets in ascending order for free.
@@ -172,16 +183,14 @@ std::span<const std::uint32_t> LogStore::cabinet_range(platform::CabinetId cabin
 std::span<const std::uint32_t> LogStore::type_range(EventType type, util::TimePoint begin,
                                                     util::TimePoint end) const {
   require_finalized();
-  // A default-constructed (empty) store never ran build_indexes(); without
-  // this guard the subscript below is UB, unlike count_of_type/type_index
-  // which always guarded it.
-  if (by_type_.empty()) return {};
-  return filter_window(by_type_[static_cast<std::size_t>(type)], begin, end);
+  // CsrIndex::of bounds-checks the key, so the empty default-constructed
+  // store needs no special case here.
+  return filter_window(by_type_.of(static_cast<std::uint32_t>(type)), begin, end);
 }
 
 std::size_t LogStore::count_of_type(EventType type) const {
   require_finalized();
-  return by_type_.empty() ? 0 : by_type_[static_cast<std::size_t>(type)].size();
+  return by_type_.of(static_cast<std::uint32_t>(type)).size();
 }
 
 std::span<const std::uint32_t> LogStore::node_index(platform::NodeId node) const {
@@ -191,8 +200,7 @@ std::span<const std::uint32_t> LogStore::node_index(platform::NodeId node) const
 
 std::span<const std::uint32_t> LogStore::type_index(EventType type) const {
   require_finalized();
-  if (by_type_.empty()) return {};
-  return by_type_[static_cast<std::size_t>(type)];
+  return by_type_.of(static_cast<std::uint32_t>(type));
 }
 
 const std::vector<platform::NodeId>& LogStore::nodes() const {

@@ -9,15 +9,20 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "logmodel/record.hpp"
 #include "logmodel/symbol_table.hpp"
 #include "util/csr.hpp"
+#include "util/snapshot.hpp"
 
 namespace hpcfail::logmodel {
+
+struct StoreLoadResult;
 
 class LogStore {
  public:
@@ -29,7 +34,9 @@ class LogStore {
 
   /// Builds a store from records already stably sorted by time (e.g. the
   /// k-way merge of StoreBuilder), skipping the O(n log n) global sort.
-  /// Precondition (asserted in debug builds): records are time-ordered.
+  /// Throws std::logic_error when the records are not time-ordered —
+  /// accepting them would silently break every binary search over the
+  /// time column, so the contract violation fails loud in every build.
   [[nodiscard]] static LogStore from_sorted(std::vector<LogRecord> records,
                                             SymbolTable symbols = {});
 
@@ -137,6 +144,35 @@ class LogStore {
   /// Distinct node ids appearing in the store, sorted (cached at finalize).
   [[nodiscard]] const std::vector<platform::NodeId>& nodes() const;
 
+  // --- Persistence (store_snapshot.cpp) -----------------------------------
+  // Every persistent member — record rows, symbol table, time/type columns,
+  // the four CSR indexes, the cached node list — serializes as flat
+  // sections under the "store." prefix (util/serialize.hpp); the
+  // hpcfail.store.v1 container (util/snapshot.hpp) adds the on-disk
+  // framing.  See FORMATS.md "snapshot — hpcfail.store.v1".
+
+  /// Registers this store's sections (borrowed views into live columns
+  /// plus a normalized owned copy of the record rows).  The store must be
+  /// finalized and must outlive `out`.
+  void append_sections(util::Sections& out) const;
+
+  /// Rebuilds a finalized store from its sections, validating every
+  /// invariant the query paths rely on (column lengths, monotone times,
+  /// index entries in range, symbol ids resolvable) so corrupt input can
+  /// never produce a store that reads out of bounds.  Throws
+  /// util::SectionError.
+  [[nodiscard]] static LogStore from_sections(const util::SectionMap& in);
+
+  /// Writes this finalized store to `path` as a store-only
+  /// hpcfail.store.v1 snapshot.  Failures come back as a structured
+  /// SnapshotError, never an exception or a torn-but-valid file.
+  [[nodiscard]] std::optional<util::SnapshotError> save(const std::string& path) const;
+
+  /// Bulk-reads and validates a snapshot written by save() (or the store
+  /// sections of a corpus-level snapshot) into a finalized store.
+  // hpcfail-lint: allow(finalize-protocol) -- static factory, no store state to guard; from_sections() re-establishes the invariant
+  [[nodiscard]] static StoreLoadResult load(const std::string& path);
+
  private:
   /// Every query funnels through this: querying between add() and
   /// finalize() would silently binary-search unsorted records and read
@@ -164,9 +200,17 @@ class LogStore {
   CsrIndex by_node_;
   CsrIndex by_blade_;
   CsrIndex by_cabinet_;
-  std::vector<std::vector<std::uint32_t>> by_type_;
+  CsrIndex by_type_;  ///< keyed by EventType value; offsets empty only when n == 0
   std::vector<platform::NodeId> nodes_;  ///< sorted distinct node ids
   bool finalized_ = true;
+};
+
+/// LogStore::load's result: exactly one of `store` / `error` is set.
+struct StoreLoadResult {
+  std::optional<LogStore> store;
+  std::optional<util::SnapshotError> error;
+
+  [[nodiscard]] bool ok() const noexcept { return !error.has_value(); }
 };
 
 }  // namespace hpcfail::logmodel

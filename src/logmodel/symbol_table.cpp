@@ -52,4 +52,57 @@ std::vector<Symbol> SymbolTable::absorb(const SymbolTable& src) {
   return remap;
 }
 
+void SymbolTable::append_sections(util::Sections& out, const std::string& prefix) const {
+  // The arena is block-structured in memory; the serialized form is one
+  // flat run (every payload concatenated in id order) plus uint64 fence
+  // offsets, so the load side never learns about blocks.
+  std::vector<std::byte> bytes;
+  bytes.reserve(payload_bytes_);
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(views_.size() + 1);
+  offsets.push_back(0);
+  for (const std::string_view v : views_) {
+    const auto* data = reinterpret_cast<const std::byte*>(v.data());
+    bytes.insert(bytes.end(), data, data + v.size());
+    offsets.push_back(bytes.size());
+  }
+  out.add_owned(prefix + ".bytes", std::move(bytes));
+  std::vector<std::byte> offset_bytes(offsets.size() * sizeof(std::uint64_t));
+  std::memcpy(offset_bytes.data(), offsets.data(), offset_bytes.size());
+  out.add_owned(prefix + ".offsets", std::move(offset_bytes));
+}
+
+SymbolTable SymbolTable::from_sections(const util::SectionMap& in,
+                                       const std::string& prefix) {
+  const auto offsets = in.vector_of<std::uint64_t>(prefix + ".offsets");
+  const auto bytes = in.require(prefix + ".bytes");
+  if (offsets.empty() || offsets.front() != 0 || offsets.back() != bytes.size()) {
+    throw util::SectionError(prefix + ".offsets",
+                             "offsets do not span the string payload exactly");
+  }
+  SymbolTable table;  // already holds "" as id 0
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i + 1] < offsets[i]) {
+      throw util::SectionError(prefix + ".offsets",
+                               "offsets decrease at id " + std::to_string(i));
+    }
+    const std::string_view text(
+        reinterpret_cast<const char*>(bytes.data()) + offsets[i],
+        static_cast<std::size_t>(offsets[i + 1] - offsets[i]));
+    if (i == 0) {
+      if (!text.empty()) {
+        throw util::SectionError(prefix + ".bytes", "id 0 must be the empty string");
+      }
+      continue;  // the constructor interned it
+    }
+    const Symbol sym = table.intern(text);
+    if (sym.id != i) {
+      throw util::SectionError(
+          prefix + ".bytes", "duplicate string at id " + std::to_string(i) +
+                                 " (would re-intern as id " + std::to_string(sym.id) + ")");
+    }
+  }
+  return table;
+}
+
 }  // namespace hpcfail::logmodel

@@ -15,9 +15,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "util/serialize.hpp"
 
 namespace hpcfail::logmodel {
 
@@ -62,6 +65,18 @@ class SymbolTable {
   /// remap: remap[old.id] is the Symbol in this table.  Used when merging
   /// per-chunk tables into the builder's table.
   std::vector<Symbol> absorb(const SymbolTable& src);
+
+  /// Registers the table as two flat sections: "<prefix>.bytes" (every
+  /// string's payload concatenated in id order, owned by `out`) and
+  /// "<prefix>.offsets" (uint64[size + 1] delimiting each string).
+  void append_sections(util::Sections& out, const std::string& prefix) const;
+
+  /// Rebuilds a table by re-interning the serialized strings in id order,
+  /// so ids are preserved exactly.  Throws util::SectionError when the
+  /// offsets are inconsistent, string 0 is not "", or a duplicate string
+  /// would shift later ids.
+  [[nodiscard]] static SymbolTable from_sections(const util::SectionMap& in,
+                                                 const std::string& prefix);
 
  private:
   const char* arena_store(std::string_view text);

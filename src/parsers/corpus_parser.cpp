@@ -16,7 +16,7 @@ using util::split_lines;
 
 ParsedCorpus parse_corpus(const loggen::Corpus& corpus, util::ThreadPool* pool) {
   ParsedCorpus out{corpus.system, platform::Topology{corpus.system.topology},
-                   {}, {}, 0, 0, 0};
+                   {}, {}, corpus.begin, corpus.days, 0, 0, 0};
   util::ThreadPool& workers = pool != nullptr ? *pool : util::default_pool();
 
   const auto begin_civil = util::civil_time(corpus.begin);

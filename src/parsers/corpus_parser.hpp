@@ -20,6 +20,8 @@ struct ParsedCorpus {
   platform::Topology topology;
   logmodel::LogStore store;
   jobs::JobTable jobs;
+  util::TimePoint begin;  ///< log window start, from the manifest
+  int days = 0;           ///< log window length, from the manifest
   std::size_t total_lines = 0;
   std::size_t parsed_records = 0;
   std::size_t skipped_lines = 0;  ///< malformed or not fault-relevant

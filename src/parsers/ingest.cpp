@@ -267,6 +267,8 @@ IngestResult ingest_stream(const loggen::Corpus& header,
   IngestResult out;
   out.system = header.system;
   out.topology = platform::Topology{header.system.topology};
+  out.begin = header.begin;
+  out.days = header.days;
   util::ThreadPool& pool = options.pool != nullptr ? *options.pool : util::default_pool();
   const std::size_t inflight = options.max_inflight_chunks != 0
                                    ? options.max_inflight_chunks
@@ -341,6 +343,8 @@ IngestResult ingest_files(const std::string& dir, const IngestOptions& options) 
         IngestResult out;
         out.system = header.system;
         out.topology = platform::Topology{header.system.topology};
+        out.begin = header.begin;
+        out.days = header.days;
         out.error = IngestError{IngestErrorKind::MissingFile, source, path.string(), 0,
                                 "source file is absent and missing_file_policy is Error"};
         return out;

@@ -1,0 +1,97 @@
+#include "parsers/snapshot.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "loggen/corpus.hpp"
+
+namespace hpcfail::parsers {
+
+namespace {
+
+/// "corpus.meta" row: the line accounting of the original parse, so a
+/// loaded corpus reports the same totals the text path did.
+struct CorpusMeta {
+  std::uint64_t total_lines = 0;
+  std::uint64_t parsed_records = 0;
+  std::uint64_t skipped_lines = 0;
+};
+static_assert(sizeof(CorpusMeta) == 24);
+
+}  // namespace
+
+std::optional<util::SnapshotError> save_snapshot(const ParsedCorpus& corpus,
+                                                 const std::string& path) {
+  util::Sections sections;
+
+  // The machine/window header rides along as the manifest text itself —
+  // the exact format a corpus directory carries, so one grammar serves
+  // both and unknown future keys stay forward-compatible.
+  loggen::Corpus header;
+  header.system = corpus.system;
+  header.begin = corpus.begin;
+  header.days = corpus.days;
+  const std::string manifest = loggen::manifest_to_string(header);
+  std::vector<std::byte> manifest_bytes(manifest.size());
+  std::memcpy(manifest_bytes.data(), manifest.data(), manifest.size());
+  sections.add_owned("corpus.manifest", std::move(manifest_bytes));
+
+  CorpusMeta meta;
+  meta.total_lines = corpus.total_lines;
+  meta.parsed_records = corpus.parsed_records;
+  meta.skipped_lines = corpus.skipped_lines;
+  sections.add_scalar("corpus.meta", meta);
+
+  corpus.store.append_sections(sections);
+  corpus.jobs.append_sections(sections, "jobs");
+  return util::write_snapshot(path, sections);
+}
+
+SnapshotLoadResult load_snapshot(const std::string& path) {
+  SnapshotLoadResult out;
+  auto read = util::read_snapshot(path);
+  if (!read.ok()) {
+    out.error = std::move(read.error);
+    return out;
+  }
+  const util::SectionMap& in = read.snapshot->sections();
+  try {
+    const auto manifest_bytes = in.require("corpus.manifest");
+    const std::string manifest(reinterpret_cast<const char*>(manifest_bytes.data()),
+                               manifest_bytes.size());
+    // corpus_from_manifest throws std::runtime_error on malformed text;
+    // inside a snapshot that is section corruption, not a config error.
+    loggen::Corpus header;
+    try {
+      header = loggen::corpus_from_manifest(manifest);
+    } catch (const std::exception& e) {
+      throw util::SectionError("corpus.manifest", e.what());
+    }
+    out.system = header.system;
+    out.topology = platform::Topology{header.system.topology};
+    out.begin = header.begin;
+    out.days = header.days;
+
+    const auto meta = in.scalar_of<CorpusMeta>("corpus.meta");
+    out.total_lines = meta.total_lines;
+    out.parsed_records = meta.parsed_records;
+    out.skipped_lines = meta.skipped_lines;
+
+    out.store = logmodel::LogStore::from_sections(in);
+    out.jobs = jobs::JobTable::from_sections(in, "jobs");
+  } catch (const util::SectionError& e) {
+    // Never a partial corpus: reset the base before reporting.
+    static_cast<ParsedCorpus&>(out) = ParsedCorpus{};
+    util::SnapshotError err;
+    err.kind = e.kind() == util::SectionError::Kind::Missing
+                   ? util::SnapshotError::Kind::MissingSection
+                   : util::SnapshotError::Kind::BadSection;
+    err.path = path;
+    err.section = e.section();
+    err.message = e.what();
+    out.error = std::move(err);
+  }
+  return out;
+}
+
+}  // namespace hpcfail::parsers

@@ -14,7 +14,10 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
+
+#include "util/serialize.hpp"
 
 namespace hpcfail::util {
 
@@ -29,6 +32,43 @@ struct CsrIndex {
     if (key + 1 >= offsets.size()) return {};
     return std::span<const T>(entries).subspan(offsets[key],
                                                offsets[key + 1] - offsets[key]);
+  }
+
+  /// Registers the two flat arrays as "<prefix>.offsets" / "<prefix>.entries"
+  /// (borrowed views — this index must outlive `out`).
+  void append_sections(Sections& out, const std::string& prefix) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out.add_vector(prefix + ".offsets", offsets);
+    out.add_vector(prefix + ".entries", entries);
+  }
+
+  /// Rebuilds an index from its two sections, validating the CSR invariants
+  /// (monotone offsets spanning exactly the entry array) so a corrupted
+  /// snapshot can never produce an index that reads out of bounds.  Throws
+  /// SectionError; the snapshot layer converts at the load boundary.
+  [[nodiscard]] static CsrIndex from_sections(const SectionMap& in,
+                                              const std::string& prefix) {
+    CsrIndex index;
+    index.offsets = in.vector_of<std::uint32_t>(prefix + ".offsets");
+    index.entries = in.vector_of<T>(prefix + ".entries");
+    if (index.offsets.empty()) {
+      if (!index.entries.empty()) {
+        throw SectionError(prefix + ".offsets", "empty offsets with non-empty entries");
+      }
+      return index;
+    }
+    if (index.offsets.front() != 0 ||
+        index.offsets.back() != index.entries.size()) {
+      throw SectionError(prefix + ".offsets",
+                         "offsets do not span the entry array exactly");
+    }
+    for (std::size_t k = 1; k < index.offsets.size(); ++k) {
+      if (index.offsets[k] < index.offsets[k - 1]) {
+        throw SectionError(prefix + ".offsets",
+                           "offsets decrease at key " + std::to_string(k - 1));
+      }
+    }
+    return index;
   }
 };
 

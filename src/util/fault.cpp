@@ -25,6 +25,8 @@ constexpr std::string_view kSites[] = {
     "ingest.retire.bad_alloc",         // chunk retirement allocation failure
     "loggen.write.badbit",             // corpus log file write error
     "store.append_batch.bad_alloc",    // shard append allocation failure
+    "store.snapshot.read_io",          // snapshot read/validate I/O failure
+    "store.snapshot.write_io",         // snapshot section write I/O failure
     "store.symbol_absorb.bad_alloc",   // symbol-table merge allocation failure
 };
 

@@ -4,4 +4,6 @@
 constexpr const char* kSites[] = {
     "ingest.read.badbit",
     "store.append_batch.bad_alloc",
+    "store.snapshot.read_io",
+    "store.snapshot.write_io",
 };

@@ -6,3 +6,9 @@ bool read_chunk() {
   if (HPCFAIL_FAULT_SITE("store.append_batch.bad_alloc")) return false;
   return true;
 }
+
+bool snapshot_io() {
+  if (HPCFAIL_FAULT_SITE("store.snapshot.write_io")) return false;
+  if (HPCFAIL_FAULT_SITE("store.snapshot.read_io")) return false;
+  return true;
+}

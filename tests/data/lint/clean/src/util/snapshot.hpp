@@ -1,0 +1,6 @@
+// Fixture: snapshot header whose format version matches FORMATS.md.
+#pragma once
+
+#include <cstdint>
+
+inline constexpr std::uint32_t kSnapshotFormatVersion = 1;

@@ -1,0 +1,6 @@
+// Fixture: format version bumped without updating FORMATS.md.
+#pragma once
+
+#include <cstdint>
+
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;

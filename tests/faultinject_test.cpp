@@ -1,10 +1,10 @@
-// Self-fault-injection sweep (the ISSUE 7 tentpole harness): every
-// registered fault site (util/fault.hpp) is armed one at a time against the
-// full simulate -> write -> ingest pipeline, and every run must end in one
-// of exactly two ways — a structured error (IngestError, or the writers'
-// fail-loud std::runtime_error) or a record-accurate partial result whose
-// metrics account for every line seen.  No crash, no hang, no silent
-// truncation.  CI repeats this suite under ASan.
+// Self-fault-injection sweep: every registered fault site (util/fault.hpp)
+// is armed one at a time against the full simulate -> write -> ingest ->
+// snapshot save -> snapshot load pipeline, and every run must end in one
+// of exactly two ways — a structured error (IngestError / SnapshotError,
+// or the writers' fail-loud std::runtime_error) or a record-accurate
+// partial result whose metrics account for every line seen.  No crash, no
+// hang, no silent truncation.  CI repeats this suite under ASan.
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -19,6 +19,7 @@
 #include "loggen/corpus.hpp"
 #include "parsers/corpus_parser.hpp"
 #include "parsers/ingest.hpp"
+#include "parsers/snapshot.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -232,6 +233,31 @@ void run_armed_pipeline(const std::string& site) {
       EXPECT_EQ(counters.at("hpcfail.ingest.lines_skipped"), result.skipped_lines);
       if (inj.total_fires() > 0 && site.rfind("ingest.", 0) == 0) {
         EXPECT_GE(counters.at("hpcfail.ingest.faults_injected"), 1u);
+      }
+
+      // Stage 4+5: snapshot save -> load of the clean parse.  Each snapshot
+      // site is hit once per header/section transfer, so the n=2 schedule
+      // lands mid-file; the outcome must be binary — a loaded corpus equal
+      // to the ingested one, or a structured SnapshotError and nothing.
+      const std::string snap = dir + "/sweep.snap";
+      if (const auto save_err = parsers::save_snapshot(result, snap)) {
+        EXPECT_EQ(save_err->kind, util::SnapshotError::Kind::Io)
+            << save_err->to_string();
+        // A torn write must never leave a file that validates.
+        EXPECT_FALSE(parsers::load_snapshot(snap).ok());
+      } else {
+        const auto loaded = parsers::load_snapshot(snap);
+        if (loaded.ok()) {
+          EXPECT_EQ(loaded.store.size(), result.store.size());
+          EXPECT_EQ(loaded.jobs.size(), result.jobs.size());
+          EXPECT_EQ(loaded.total_lines, result.total_lines);
+        } else {
+          EXPECT_EQ(loaded.error->kind, util::SnapshotError::Kind::Io)
+              << loaded.error->to_string();
+          // Never a partial corpus on a failed load.
+          EXPECT_EQ(loaded.store.size(), 0u);
+          EXPECT_EQ(loaded.jobs.size(), 0u);
+        }
       }
     } else {
       // Structured failure: kind + message + source set, and the partial

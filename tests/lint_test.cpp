@@ -179,6 +179,17 @@ TEST(LintFaultSites, DriftedSitesAndInventoryAreDiagnosedExactly) {
             }));
 }
 
+TEST(LintSnapshotVersion, BumpedConstantWithoutDocUpdateIsDiagnosedExactly) {
+  const Report report = run_checks(fixture("snapshot_drift"), {"snapshot-version"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "FORMATS.md:5: error: [snapshot-version] documented snapshot "
+                "format version **1** does not match kSnapshotFormatVersion = 2 "
+                "in src/util/snapshot.hpp; bump the doc (and its layout "
+                "section) with the constant",
+            }));
+}
+
 TEST(LintCaptureLifetime, ByRefCapturesIntoPoolSinksAreDiagnosedExactly) {
   const Report report = run_checks(fixture("capture_drift"), {"capture-lifetime"});
   EXPECT_EQ(rendered(report),
@@ -398,9 +409,10 @@ TEST(LintBaseline, MissingBaselineFileIsAnEmptyBaseline) {
 TEST(LintClean, ConsistentFixtureTreePasses) {
   const Report report = run_checks(
       fixture("clean"),
-      {"erd-table", "event-names", "corpus-files", "banned-pattern",
-       "header-hygiene", "bench-pipeline", "metric-naming", "fault-sites",
-       "capture-lifetime", "dangling-view", "finalize-protocol", "raw-sync"});
+      {"erd-table", "event-names", "corpus-files", "snapshot-version",
+       "banned-pattern", "header-hygiene", "bench-pipeline", "metric-naming",
+       "fault-sites", "capture-lifetime", "dangling-view", "finalize-protocol",
+       "raw-sync"});
   EXPECT_TRUE(report.ok()) << (report.ok() ? std::string{}
                                            : rendered(report).front());
 }

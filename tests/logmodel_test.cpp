@@ -91,6 +91,22 @@ TEST(LogStoreTest, SortsByTime) {
   EXPECT_EQ(store.last_time().unix_seconds(), 30);
 }
 
+TEST(LogStoreTest, FromSortedRejectsNonMonotonicTimes) {
+  std::vector<LogRecord> sorted;
+  sorted.push_back(make_record(10, EventType::HardwareError, 1));
+  sorted.push_back(make_record(20, EventType::KernelPanic, 1));
+  EXPECT_EQ(LogStore::from_sorted(sorted, {}).size(), 2u);
+
+  // A breach anywhere in the input must throw, not silently build a store
+  // whose binary-searched range queries would return garbage.
+  std::vector<LogRecord> breached;
+  breached.push_back(make_record(10, EventType::HardwareError, 1));
+  breached.push_back(make_record(30, EventType::KernelPanic, 1));
+  breached.push_back(make_record(20, EventType::NodeBoot, 1));
+  EXPECT_THROW((void)LogStore::from_sorted(std::move(breached), {}),
+               std::logic_error);
+}
+
 TEST(LogStoreTest, RangeQueryHalfOpen) {
   std::vector<LogRecord> records;
   for (int s = 0; s < 10; ++s) {

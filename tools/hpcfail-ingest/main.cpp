@@ -19,6 +19,7 @@
 #include "faultsim/simulator.hpp"
 #include "loggen/corpus.hpp"
 #include "parsers/ingest.hpp"
+#include "parsers/snapshot.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -45,6 +46,8 @@ void usage(std::FILE* to) {
       "  --chunk-bytes N    chunk size in bytes (default 256 KiB)\n"
       "  --shard-records N  records per store shard (default 65536)\n"
       "  --keep             keep the --preset temp directory\n"
+      "  --snapshot-out F   after a clean ingest, save the parsed corpus as\n"
+      "                     an hpcfail.store.v1 snapshot (see hpcfail-store)\n"
       "  --metrics-out F    write pipeline counters/histograms to F (JSON)\n"
       "  --trace-out F      write spans to F (chrome://tracing JSON)\n"
       "  --fault SPEC       arm deterministic fault sites for repro:\n"
@@ -94,6 +97,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   std::size_t threads = 0;
   bool keep = false;
+  std::string snapshot_path;
   std::string metrics_path;
   std::string trace_path;
   std::string fault_spec;
@@ -131,6 +135,10 @@ int main(int argc, char** argv) {
       options.shard_records = static_cast<std::size_t>(std::atoll(value()));
     } else if (arg == "--keep") {
       keep = true;
+    } else if (arg == "--snapshot-out") {
+      snapshot_path = value();
+    } else if (arg.rfind("--snapshot-out=", 0) == 0) {
+      snapshot_path = arg.substr(std::string_view("--snapshot-out=").size());
     } else if (arg == "--metrics-out") {
       metrics_path = value();
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
@@ -239,6 +247,17 @@ int main(int argc, char** argv) {
                    parsed.parsed_records, parsed.total_lines, parsed.skipped_lines);
       if (scratch) std::filesystem::remove_all(dir);
       return 3;
+    }
+
+    // A snapshot is only written from a clean parse — a partial store must
+    // never masquerade as a persisted corpus.
+    if (!snapshot_path.empty()) {
+      if (const auto err = parsers::save_snapshot(parsed, snapshot_path)) {
+        std::fprintf(stderr, "hpcfail-ingest: %s\n", err->to_string().c_str());
+        if (scratch) std::filesystem::remove_all(dir);
+        return 3;
+      }
+      std::printf("snapshot        %s\n", snapshot_path.c_str());
     }
 
     if (scratch) std::filesystem::remove_all(dir);

@@ -301,13 +301,19 @@ void scan_temporary_view_bindings(const SourceFile& file, Report& report) {
 }
 
 void finalize_protocol_for_class(SourceTree& tree, const char* cls, const char* hpp_path,
-                                 const char* cpp_path, Report& report) {
+                                 std::initializer_list<const char*> cpp_paths,
+                                 Report& report) {
   const std::string check = "finalize-protocol";
   const SourceFile* hpp = tree.source(hpp_path);
   if (hpp == nullptr) return;  // fixture trees carry only the classes they exercise
-  const SourceFile* cpp = tree.source(cpp_path);
-  static const Tokens kEmpty;
-  const Tokens& cpp_toks = cpp != nullptr ? cpp->tokens : kEmpty;
+  // A class's out-of-line members may be split across several .cpp files
+  // (LogStore's persistence lives in store_snapshot.cpp); a guard in any of
+  // them counts.
+  std::vector<const Tokens*> cpp_tokens;
+  for (const char* cpp_path : cpp_paths) {
+    const SourceFile* cpp = tree.source(cpp_path);
+    if (cpp != nullptr) cpp_tokens.push_back(&cpp->tokens);
+  }
   const Tokens& toks = hpp->tokens;
 
   // Locate `class <cls> ... {`.
@@ -334,21 +340,24 @@ void finalize_protocol_for_class(SourceTree& tree, const char* cls, const char* 
   // Merely touching finalized_ in the constructor (LogStore's does, to reset
   // the flag) is not a guard: the throw is what makes it one.
   {
-    for (std::size_t i = 0; i + 3 < cpp_toks.size(); ++i) {
-      if (!is_ident(cpp_toks[i], cls) || !is_punct(cpp_toks[i + 1], "::") ||
-          !is_ident(cpp_toks[i + 2], cls) || !is_punct(cpp_toks[i + 3], "(")) {
-        continue;
-      }
-      const std::size_t params_close = matching_close(cpp_toks, i + 3);
-      if (params_close >= cpp_toks.size()) continue;
-      for (std::size_t k = params_close + 1; k < cpp_toks.size(); ++k) {
-        if (is_punct(cpp_toks[k], ";")) break;
-        if (is_punct(cpp_toks[k], "{")) {
-          const std::size_t ctor_close = matching_close(cpp_toks, k);
-          for (std::size_t g = k; g < ctor_close && g < cpp_toks.size(); ++g) {
-            if (is_ident(cpp_toks[g], "logic_error")) return;
+    for (const Tokens* file_toks : cpp_tokens) {
+      const Tokens& cpp_toks = *file_toks;
+      for (std::size_t i = 0; i + 3 < cpp_toks.size(); ++i) {
+        if (!is_ident(cpp_toks[i], cls) || !is_punct(cpp_toks[i + 1], "::") ||
+            !is_ident(cpp_toks[i + 2], cls) || !is_punct(cpp_toks[i + 3], "(")) {
+          continue;
+        }
+        const std::size_t params_close = matching_close(cpp_toks, i + 3);
+        if (params_close >= cpp_toks.size()) continue;
+        for (std::size_t k = params_close + 1; k < cpp_toks.size(); ++k) {
+          if (is_punct(cpp_toks[k], ";")) break;
+          if (is_punct(cpp_toks[k], "{")) {
+            const std::size_t ctor_close = matching_close(cpp_toks, k);
+            for (std::size_t g = k; g < ctor_close && g < cpp_toks.size(); ++g) {
+              if (is_ident(cpp_toks[g], "logic_error")) return;
+            }
+            break;
           }
-          break;
         }
       }
     }
@@ -436,8 +445,13 @@ void finalize_protocol_for_class(SourceTree& tree, const char* cls, const char* 
         break;
       }
       if (is_punct(toks[k], ";")) {
-        bool found = false;
-        guarded = out_of_class_guarded(cpp_toks, cls, name, found);
+        for (const Tokens* file_toks : cpp_tokens) {
+          bool found = false;
+          if (out_of_class_guarded(*file_toks, cls, name, found)) {
+            guarded = true;
+            break;
+          }
+        }
         tail_end = k;
         break;
       }
@@ -535,9 +549,11 @@ void check_dangling_view(SourceTree& tree, Report& report) {
 
 void check_finalize_protocol(SourceTree& tree, Report& report) {
   finalize_protocol_for_class(tree, "LogStore", "src/logmodel/log_store.hpp",
-                              "src/logmodel/log_store.cpp", report);
+                              {"src/logmodel/log_store.cpp",
+                               "src/logmodel/store_snapshot.cpp"},
+                              report);
   finalize_protocol_for_class(tree, "AnalysisContext", "src/core/analysis_context.hpp",
-                              "src/core/analysis_context.cpp", report);
+                              {"src/core/analysis_context.cpp"}, report);
 }
 
 void check_raw_sync(SourceTree& tree, Report& report) {

@@ -119,6 +119,7 @@ constexpr const char* kEventTypeHpp = "src/logmodel/event_type.hpp";
 constexpr const char* kEventTypeCpp = "src/logmodel/event_type.cpp";
 constexpr const char* kCorpusCpp = "src/loggen/corpus.cpp";
 constexpr const char* kFaultCpp = "src/util/fault.cpp";
+constexpr const char* kSnapshotHpp = "src/util/snapshot.hpp";
 constexpr const char* kFormatsMd = "FORMATS.md";
 
 /// EventType enumerators of event_type.hpp, in declaration order.
@@ -485,6 +486,49 @@ void check_corpus_files(SourceTree& tree, Report& report) {
 }
 
 // ---------------------------------------------------------------------------
+// Check: snapshot-version
+// ---------------------------------------------------------------------------
+
+void check_snapshot_version(SourceTree& tree, Report& report) {
+  const std::string check = "snapshot-version";
+  const auto* header = load(tree, kSnapshotHpp, check, report);
+  const auto* doc = load(tree, kFormatsMd, check, report);
+  if (header == nullptr || doc == nullptr) return;
+
+  static const std::regex code_re(R"(kSnapshotFormatVersion\s*=\s*(\d+)\s*;)");
+  const auto code = scan(*header, whole_file(*header), code_re);
+  if (code.empty()) {
+    report.add(kSnapshotHpp, 0, check,
+               "no `kSnapshotFormatVersion = N;` definition found");
+    return;
+  }
+  if (code.size() > 1) {
+    report.add(kSnapshotHpp, code[1].line, check,
+               "kSnapshotFormatVersion is defined more than once");
+  }
+
+  static const std::regex doc_re(R"(^Format version:\s*\*\*(\d+)\*\*)");
+  const auto documented = scan(*doc, whole_file(*doc), doc_re);
+  if (documented.empty()) {
+    report.add(kFormatsMd, 0, check,
+               "no `Format version: **N**` line found; the hpcfail.store.v1 "
+               "section must document the version kSnapshotFormatVersion pins");
+    return;
+  }
+  if (documented.size() > 1) {
+    report.add(kFormatsMd, documented[1].line, check,
+               "multiple `Format version:` lines; FORMATS.md must pin exactly one");
+  }
+  if (documented.front().key != code.front().key) {
+    report.add(kFormatsMd, documented.front().line, check,
+               "documented snapshot format version **" + documented.front().key +
+                   "** does not match kSnapshotFormatVersion = " + code.front().key +
+                   " in " + kSnapshotHpp +
+                   "; bump the doc (and its layout section) with the constant");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Check: banned-pattern
 // ---------------------------------------------------------------------------
 
@@ -805,6 +849,10 @@ const std::vector<CheckDef>& registry() {
       {{"corpus-files", Severity::Error,
         "Corpus file names in code and the FORMATS.md layout block must agree"},
        &check_corpus_files},
+      {{"snapshot-version", Severity::Error,
+        "kSnapshotFormatVersion and the FORMATS.md `Format version` line must "
+        "agree"},
+       &check_snapshot_version},
       {{"banned-pattern", Severity::Error,
         "No nondeterministic RNG or wall-clock seeding outside util::Rng"},
        &check_banned_patterns},

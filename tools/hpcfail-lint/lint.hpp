@@ -89,6 +89,12 @@ void check_formats_doc(SourceTree& tree, Report& report);
 /// file names documented in the FORMATS.md layout block, both directions.
 void check_corpus_files(SourceTree& tree, Report& report);
 
+/// Snapshot format version: the kSnapshotFormatVersion constant in
+/// src/util/snapshot.hpp (what save/load actually stamp and accept) must
+/// match the `Format version: **N**` line FORMATS.md promises for the
+/// hpcfail.store.v1 container, so a layout bump cannot ship undocumented.
+void check_snapshot_version(SourceTree& tree, Report& report);
+
 /// Repo invariants: no rand()/srand()/time(NULL)/std::random_device/mt19937
 /// in src/ (simulation must be deterministic through util::Rng).  Suppress a
 /// line with "hpcfail-lint: allow(banned-pattern)".
