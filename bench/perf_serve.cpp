@@ -1,0 +1,191 @@
+// Serve-layer latency and throughput baseline: boots a resident
+// serve::Server over the canonical corpus (one simulated S2 week, seed
+// 42), then hammers it with a fixed mix of protocol requests from
+// concurrent pool clients and reports per-request latency percentiles and
+// sustained queries/s.  Within one epoch every analysis-backed verb is
+// answered from the per-epoch cache, so the numbers pin the steady-state
+// query path — the regime a resident daemon exists for; the one-time cost
+// of filling that cache is reported separately as analysis_cold_ms.
+//
+// `--json[=PATH]` writes the committed BENCH_serve.json trajectory (best
+// of kRepeats hammer rounds); without it the summary goes to stderr only.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "faultsim/simulator.hpp"
+#include "loggen/corpus.hpp"
+#include "parsers/corpus_parser.hpp"
+#include "serve/server.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace hpcfail;
+
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 500;
+constexpr int kRepeats = 3;
+
+double percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[rank];
+}
+
+struct Round {
+  std::vector<double> latencies_us;  // sorted on return
+  double seconds = 0.0;
+  double queries_per_s = 0.0;
+};
+
+/// One hammer round: kClients pool tasks, each issuing its request script
+/// back to back and timing every handle_line() call.
+Round hammer(serve::Server& server, util::ThreadPool& clients,
+             const std::vector<std::string>& script) {
+  serve::Server* const srv = &server;  // outlives every queued client task
+  std::vector<std::future<std::vector<double>>> futures;
+  futures.reserve(kClients);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    futures.push_back(clients.submit([srv, script] {
+      std::vector<double> us;
+      us.reserve(script.size());
+      for (const auto& request : script) {
+        const auto q0 = std::chrono::steady_clock::now();
+        const std::string response = srv->handle_line(request);
+        const auto q1 = std::chrono::steady_clock::now();
+        if (response.empty()) continue;  // keeps the response alive too
+        us.push_back(std::chrono::duration<double, std::micro>(q1 - q0).count());
+      }
+      return us;
+    }));
+  }
+  Round round;
+  for (auto& f : futures) {
+    const auto us = f.get();
+    round.latencies_us.insert(round.latencies_us.end(), us.begin(), us.end());
+  }
+  round.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  std::sort(round.latencies_us.begin(), round.latencies_us.end());
+  round.queries_per_s =
+      round.seconds > 0.0 ? static_cast<double>(round.latencies_us.size()) / round.seconds
+                          : 0.0;
+  return round;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool write_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      write_json = true;
+      json_path = "BENCH_serve.json";
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      write_json = true;
+      json_path = argv[i] + 7;
+    } else {
+      std::fprintf(stderr, "usage: perf_serve [--json[=PATH]]\n");
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr, "perf_serve: simulating S2 week (seed 42)...\n");
+  const auto sim =
+      faultsim::Simulator(faultsim::scenario_preset(platform::SystemName::S2, 7, 42)).run();
+  util::ThreadPool pool;
+  auto parsed = parsers::parse_corpus(loggen::build_corpus(sim), &pool);
+  const std::size_t records = parsed.store.size();
+  const std::string node =
+      std::string(parsed.topology.node_name(parsed.store.nodes().front()));
+
+  serve::ServerConfig config;
+  config.pool = &pool;
+  serve::Server server(std::move(parsed), config);
+
+  // The analysis-backed verbs share one engine run per epoch; pay for it
+  // once here so the hammer rounds measure the cached steady state.
+  const auto a0 = std::chrono::steady_clock::now();
+  (void)server.handle_line(R"({"id":1,"verb":"causes"})");
+  const double analysis_cold_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - a0)
+          .count();
+
+  // Fixed per-client request script: every verb class the daemon answers
+  // in steady state, heavy and light interleaved.
+  const std::vector<std::string> mix = {
+      R"({"id":1,"verb":"status"})",
+      R"({"id":2,"verb":"ping"})",
+      R"({"id":3,"verb":"causes"})",
+      R"({"id":4,"verb":"lead_time"})",
+      R"({"id":5,"verb":"node_health","params":{"node":")" + node + R"("}})",
+      R"({"id":6,"verb":"report"})",
+      R"({"id":7,"verb":"metrics"})",
+  };
+  std::vector<std::string> script;
+  script.reserve(kRequestsPerClient);
+  for (int i = 0; i < kRequestsPerClient; ++i) script.push_back(mix[i % mix.size()]);
+
+  util::ThreadPool clients(kClients);
+  Round best;
+  for (int r = 0; r < kRepeats; ++r) {
+    Round round = hammer(server, clients, script);
+    std::fprintf(stderr, "  round %d: %zu queries in %.3fs (%.0f q/s, p50 %.1fus, p99 %.1fus)\n",
+                 r + 1, round.latencies_us.size(), round.seconds, round.queries_per_s,
+                 percentile(round.latencies_us, 0.50), percentile(round.latencies_us, 0.99));
+    if (round.queries_per_s > best.queries_per_s) best = std::move(round);
+  }
+  if (best.latencies_us.empty()) {
+    std::fprintf(stderr, "perf_serve: no latencies recorded\n");
+    return 1;
+  }
+  if (server.analysis_recomputes() != 1) {
+    std::fprintf(stderr,
+                 "perf_serve: expected exactly 1 analysis recompute, saw %llu — the "
+                 "epoch cache is broken and the numbers are meaningless\n",
+                 static_cast<unsigned long long>(server.analysis_recomputes()));
+    return 1;
+  }
+
+  const double p50 = percentile(best.latencies_us, 0.50);
+  const double p99 = percentile(best.latencies_us, 0.99);
+  std::fprintf(stderr,
+               "perf_serve: best of %d: %.0f queries/s, p50 %.1fus, p99 %.1fus "
+               "(analysis cold %.1fms, %zu records)\n",
+               kRepeats, best.queries_per_s, p50, p99, analysis_cold_ms, records);
+
+  if (write_json) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "perf_serve: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    char buf[768];
+    std::snprintf(buf, sizeof(buf),
+                  "{\n"
+                  "  \"bench\": \"perf_serve\",\n"
+                  "  \"corpus\": {\"system\": \"S2\", \"days\": 7, \"seed\": 42, "
+                  "\"records\": %zu},\n"
+                  "  \"clients\": %d,\n"
+                  "  \"requests\": %zu,\n"
+                  "  \"repeats\": %d,\n"
+                  "  \"analysis_cold_ms\": %.1f,\n"
+                  "  \"p50_us\": %.1f,\n"
+                  "  \"p99_us\": %.1f,\n"
+                  "  \"queries_per_s\": %.0f\n"
+                  "}\n",
+                  records, kClients, best.latencies_us.size(), kRepeats,
+                  analysis_cold_ms, p50, p99, best.queries_per_s);
+    out << buf;
+    std::fprintf(stderr, "perf_serve: wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

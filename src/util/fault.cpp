@@ -24,6 +24,8 @@ constexpr std::string_view kSites[] = {
     "ingest.read.torn_chunk",          // chunk bytes garbled in flight
     "ingest.retire.bad_alloc",         // chunk retirement allocation failure
     "loggen.write.badbit",             // corpus log file write error
+    "serve.request.parse",             // torn client request line on the protocol boundary
+    "serve.tail.read_io",              // tail-file read I/O failure mid-poll
     "store.append_batch.bad_alloc",    // shard append allocation failure
     "store.snapshot.read_io",          // snapshot read/validate I/O failure
     "store.snapshot.write_io",         // snapshot section write I/O failure

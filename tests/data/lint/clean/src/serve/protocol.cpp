@@ -1,0 +1,9 @@
+// Minimal consistent serve verb table for the clean fixture tree.
+namespace hpcfail::serve {
+namespace {
+constexpr VerbDef kVerbs[] = {
+    {"ping", "liveness probe, answers pong"},
+    {"status", "store, window and epoch counters for the daemon"},
+};
+}  // namespace
+}  // namespace hpcfail::serve

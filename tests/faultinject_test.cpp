@@ -20,6 +20,7 @@
 #include "parsers/corpus_parser.hpp"
 #include "parsers/ingest.hpp"
 #include "parsers/snapshot.hpp"
+#include "serve/server.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/thread_pool.hpp"
@@ -259,6 +260,45 @@ void run_armed_pipeline(const std::string& site) {
           EXPECT_EQ(loaded.jobs.size(), 0u);
         }
       }
+
+      // Stage 6: the serve layer.  Boot a daemon over the ingested corpus,
+      // advance its tail twice and answer three requests, so both serve
+      // sites see >= 2 hits per pass (tail.read_io hits once per
+      // data-bearing poll, request.parse once per request).  A fired site
+      // must surface as a structured TailError / error response — the
+      // daemon itself always survives.
+      const std::string tail_path = dir + "/serve-tail.log";
+      serve::Server server(std::move(result));
+      server.attach_tail(tail_path, logmodel::LogSource::Console);
+
+      const auto append_and_poll = [&](std::string_view text) {
+        {
+          std::ofstream tail(tail_path, std::ios::app);
+          tail << text << "\n";
+        }
+        const auto poll = server.poll_tail();
+        if (!poll.ok()) {
+          EXPECT_FALSE(poll.error->message.empty());
+          EXPECT_EQ(poll.error->file, tail_path);
+          EXPECT_NE(poll.error->to_string().find(tail_path), std::string::npos);
+          // The offset did not advance: the retry poll drains the backlog.
+          EXPECT_TRUE(server.poll_tail().ok());
+        }
+      };
+      append_and_poll("tail line one (not a parsable console record)");
+      append_and_poll("tail line two (not a parsable console record)");
+
+      for (const std::string_view request :
+           {std::string_view(R"({"id":1,"verb":"ping"})"),
+            std::string_view(R"({"id":2,"verb":"status"})"),
+            std::string_view(R"({"id":3,"verb":"ping"})")}) {
+        const std::string response = server.handle_line(request);
+        ASSERT_FALSE(response.empty());
+        EXPECT_EQ(response.front(), '{');
+        EXPECT_NE(response.find("\"id\":"), std::string::npos)
+            << "response must echo an id, got: " << response;
+      }
+      EXPECT_FALSE(server.shutdown_requested());
     } else {
       // Structured failure: kind + message + source set, and the partial
       // store still accounts for exactly what was retired.

@@ -106,6 +106,25 @@ TEST(LintCorpusFiles, DriftedFileNameTableIsDiagnosedExactly) {
             }));
 }
 
+TEST(LintServeProtocol, DriftedVerbTableIsDiagnosedExactly) {
+  const Report report = run_checks(fixture("serve_drift"), {"serve-protocol"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/serve/protocol.cpp:7: error: [serve-protocol] 'ping' maps to "
+                "liveness probe, answers pong here but to liveness probe in "
+                "FORMATS.md",
+                "src/serve/protocol.cpp:8: error: [serve-protocol] 'statuss' "
+                "(serve verb) has no counterpart in FORMATS.md",
+                "FORMATS.md:7: error: [serve-protocol] 'lead_time' (documented "
+                "verb) has no counterpart in src/serve/protocol.cpp",
+                "FORMATS.md:8: error: [serve-protocol] 'ping' maps to liveness "
+                "probe here but to liveness probe, answers pong in "
+                "src/serve/protocol.cpp",
+                "FORMATS.md:9: error: [serve-protocol] 'status' (documented verb) "
+                "has no counterpart in src/serve/protocol.cpp",
+            }));
+}
+
 TEST(LintBenchPipeline, HandWiredFigureBenchIsDiagnosed) {
   const Report report = run_checks(fixture("bench_drift"), {"bench-pipeline"});
   EXPECT_EQ(rendered(report),
@@ -412,7 +431,7 @@ TEST(LintClean, ConsistentFixtureTreePasses) {
       {"erd-table", "event-names", "corpus-files", "snapshot-version",
        "banned-pattern", "header-hygiene", "bench-pipeline", "metric-naming",
        "fault-sites", "capture-lifetime", "dangling-view", "finalize-protocol",
-       "raw-sync"});
+       "raw-sync", "serve-protocol"});
   EXPECT_TRUE(report.ok()) << (report.ok() ? std::string{}
                                            : rendered(report).front());
 }

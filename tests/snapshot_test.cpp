@@ -27,6 +27,7 @@
 #include "logmodel/symbol_table.hpp"
 #include "parsers/corpus_parser.hpp"
 #include "parsers/snapshot.hpp"
+#include "serve/server.hpp"
 #include "util/csr.hpp"
 #include "util/fault.hpp"
 #include "util/serialize.hpp"
@@ -523,6 +524,42 @@ TEST(CorpusSnapshotTest, MissingSectionReportedStructurally) {
   EXPECT_EQ(loaded.error->kind, SnapshotError::Kind::MissingSection);
   EXPECT_FALSE(loaded.error->section.empty());
   EXPECT_EQ(loaded.store.size(), 0u);
+}
+
+/// The serve-layer face of the same guarantee: a daemon booted from a
+/// snapshot must answer every protocol verb byte-identically to one booted
+/// from the equivalent text corpus.
+TEST(CorpusSnapshotTest, SnapshotBootedDaemonAnswersByteIdenticalToTextBoot) {
+  const auto sim =
+      faultsim::Simulator(faultsim::scenario_preset(platform::SystemName::S2, 7, 42))
+          .run();
+  const auto corpus = loggen::build_corpus(sim);
+  auto from_text = parsers::parse_corpus(corpus);
+  ASSERT_GT(from_text.parsed_records, 0u);
+  const std::string node_name = std::string(
+      from_text.topology.node_name(from_text.store.nodes().front()));
+
+  const ScratchFile file("serve_boot");
+  ASSERT_FALSE(parsers::save_snapshot(from_text, file.path()));
+  auto from_snapshot = parsers::load_snapshot(file.path());
+  ASSERT_TRUE(from_snapshot.ok()) << from_snapshot.error->to_string();
+
+  serve::Server text_boot(std::move(from_text));
+  serve::Server snapshot_boot(std::move(from_snapshot));
+  const std::string requests[] = {
+      R"({"id":1,"verb":"ping"})",
+      R"({"id":2,"verb":"status"})",
+      R"({"id":3,"verb":"causes"})",
+      R"({"id":4,"verb":"lead_time"})",
+      R"({"id":5,"verb":"node_health","params":{"node":")" + node_name + R"("}})",
+      R"({"id":6,"verb":"report"})",
+      R"({"id":7,"verb":"metrics"})",
+  };
+  for (const std::string& request : requests) {
+    EXPECT_EQ(snapshot_boot.handle_line(request), text_boot.handle_line(request))
+        << "boot paths disagree on: " << request;
+  }
+  EXPECT_EQ(snapshot_boot.boot_alerts().size(), text_boot.boot_alerts().size());
 }
 
 // --------------------------------------------------- snapshot fault sites ----

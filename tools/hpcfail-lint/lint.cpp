@@ -120,6 +120,7 @@ constexpr const char* kEventTypeCpp = "src/logmodel/event_type.cpp";
 constexpr const char* kCorpusCpp = "src/loggen/corpus.cpp";
 constexpr const char* kFaultCpp = "src/util/fault.cpp";
 constexpr const char* kSnapshotHpp = "src/util/snapshot.hpp";
+constexpr const char* kServeProtocolCpp = "src/serve/protocol.cpp";
 constexpr const char* kFormatsMd = "FORMATS.md";
 
 /// EventType enumerators of event_type.hpp, in declaration order.
@@ -529,6 +530,59 @@ void check_snapshot_version(SourceTree& tree, Report& report) {
 }
 
 // ---------------------------------------------------------------------------
+// Check: serve-protocol
+// ---------------------------------------------------------------------------
+
+void check_serve_protocol(SourceTree& tree, Report& report) {
+  const std::string check = "serve-protocol";
+  const auto* protocol = load(tree, kServeProtocolCpp, check, report);
+  const auto* doc = load(tree, kFormatsMd, check, report);
+  if (protocol == nullptr || doc == nullptr) return;
+
+  const auto body = body_of(*protocol, "kVerbs[]");
+  if (!body) {
+    report.add(kServeProtocolCpp, 0, check, "no kVerbs array found");
+    return;
+  }
+  static const std::regex code_re(R"#(\{"([a-z_]+)",\s*"([^"]*)"\})#");
+  const auto code = scan(*protocol, *body, code_re);
+  if (code.empty()) {
+    report.add(kServeProtocolCpp, body->begin, check, "kVerbs lists no verbs");
+  }
+
+  // The documented table lives under the `## serve protocol` heading, one
+  // row per verb, and runs until the next section heading.
+  std::size_t section_begin = 0;
+  std::size_t section_end = 0;
+  for (std::size_t i = 0; i < doc->lines.size(); ++i) {
+    if (section_begin == 0 && doc->lines[i].rfind("## serve protocol", 0) == 0) {
+      section_begin = i + 1;
+    } else if (section_begin != 0 && doc->lines[i].rfind("## ", 0) == 0) {
+      section_end = i;
+      break;
+    }
+  }
+  if (section_begin == 0) {
+    report.add(kFormatsMd, 0, check,
+               "no `## serve protocol` section found; the daemon's verb table "
+               "must be documented");
+    return;
+  }
+  if (section_end == 0) section_end = doc->lines.size();
+  static const std::regex doc_re(R"(^\| `([a-z_]+)` \| ([^|]*[^| ]) \|\s*$)");
+  const auto documented = scan(*doc, LineRange{section_begin, section_end}, doc_re);
+  if (documented.empty()) {
+    report.add(kFormatsMd, section_begin, check,
+               "serve protocol section documents no verb rows");
+  }
+
+  cross_check(code, kServeProtocolCpp, documented, kFormatsMd, check,
+              "(serve verb)", report);
+  cross_check(documented, kFormatsMd, code, kServeProtocolCpp, check,
+              "(documented verb)", report);
+}
+
+// ---------------------------------------------------------------------------
 // Check: banned-pattern
 // ---------------------------------------------------------------------------
 
@@ -885,6 +939,10 @@ const std::vector<CheckDef>& registry() {
         "No bare std::thread/detach()/raw new/const_cast outside src/util; "
         "concurrency goes through util::ThreadPool"},
        &check_raw_sync},
+      {{"serve-protocol", Severity::Error,
+        "The serve verb table (kVerbs) and the FORMATS.md serve protocol "
+        "section must agree verb-for-verb, summary-for-summary"},
+       &check_serve_protocol},
   };
   return defs;
 }

@@ -165,6 +165,12 @@ void check_finalize_protocol(SourceTree& tree, Report& report);
 /// the instrumented util::ThreadPool.
 void check_raw_sync(SourceTree& tree, Report& report);
 
+/// The daemon's wire verbs (kVerbs in src/serve/protocol.cpp) and the
+/// FORMATS.md "serve protocol" table must agree in both directions — same
+/// verbs, same one-line summaries — so a verb cannot ship undocumented and
+/// the doc cannot promise one the daemon does not answer.
+void check_serve_protocol(SourceTree& tree, Report& report);
+
 // ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
