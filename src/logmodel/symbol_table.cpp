@@ -8,10 +8,12 @@
 
 namespace hpcfail::logmodel {
 
-SymbolTable::SymbolTable() { intern({}); }
+SymbolTable::SymbolTable() : slots_(64, 0) { intern({}); }
 
 SymbolTable::SymbolTable(const SymbolTable& other) : SymbolTable() {
-  for (std::size_t i = 1; i < other.views_.size(); ++i) intern(other.views_[i]);
+  for (std::size_t i = 1; i < other.views_.size(); ++i) {
+    intern_hashed(other.views_[i], other.hashes_[i]);
+  }
 }
 
 SymbolTable& SymbolTable::operator=(const SymbolTable& other) {
@@ -33,22 +35,75 @@ const char* SymbolTable::arena_store(std::string_view text) {
   return dst;
 }
 
-Symbol SymbolTable::intern(std::string_view text) {
-  if (const auto it = ids_.find(text); it != ids_.end()) return Symbol{it->second};
-  std::string_view stable = text.empty()
-                                ? std::string_view{}
-                                : std::string_view(arena_store(text), text.size());
+std::uint64_t SymbolTable::hash_bytes(std::string_view text) noexcept {
+  // xor-multiply over unaligned 8-byte loads with a zero-padded tail; the
+  // length is folded into the seed so "a" and "a\0..." prefixes cannot
+  // collide trivially.
+  constexpr std::uint64_t kMul = 0x9DDFEA08EB382D69ull;
+  std::uint64_t h =
+      0x84222325CBF29CE4ull ^ (static_cast<std::uint64_t>(text.size()) * kMul);
+  const char* p = text.data();
+  std::size_t n = text.size();
+  for (; n >= 8; p += 8, n -= 8) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    h = (h ^ v) * kMul;
+    h ^= h >> 47;
+  }
+  if (n != 0) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, n);
+    h = (h ^ v) * kMul;
+    h ^= h >> 47;
+  }
+  return h;
+}
+
+void SymbolTable::grow_slots() {
+  std::vector<std::uint32_t> bigger(slots_.size() * 2, 0);
+  const std::size_t mask = bigger.size() - 1;
+  for (std::uint32_t id = 0; id < views_.size(); ++id) {
+    std::size_t b = hashes_[id] & mask;
+    while (bigger[b] != 0) b = (b + 1) & mask;
+    bigger[b] = id + 1;
+  }
+  slots_ = std::move(bigger);
+}
+
+Symbol SymbolTable::intern_hashed(std::string_view text, std::uint64_t hash) {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t b = hash & mask;
+  while (slots_[b] != 0) {
+    const std::uint32_t id = slots_[b] - 1;
+    if (hashes_[id] == hash && views_[id] == text) return Symbol{id};
+    b = (b + 1) & mask;
+  }
+  const std::string_view stable =
+      text.empty() ? std::string_view{}
+                   : std::string_view(arena_store(text), text.size());
   const auto id = static_cast<std::uint32_t>(views_.size());
   views_.push_back(stable);
-  ids_.emplace(stable, id);
+  hashes_.push_back(hash);
   payload_bytes_ += text.size();
+  slots_[b] = id + 1;
+  // Keep load factor under 3/4 so probe chains stay short.
+  if ((views_.size() + 1) * 4 > slots_.size() * 3) grow_slots();
   return Symbol{id};
+}
+
+Symbol SymbolTable::intern(std::string_view text) {
+  return intern_hashed(text, hash_bytes(text));
 }
 
 std::vector<Symbol> SymbolTable::absorb(const SymbolTable& src) {
   if (HPCFAIL_FAULT_SITE("store.symbol_absorb.bad_alloc")) throw std::bad_alloc{};
+  // The chunk-local table already hashed every string; probing with the
+  // stored hash makes absorb a memcmp-verified table probe per distinct
+  // string with no rehashing at all.
   std::vector<Symbol> remap(src.views_.size());
-  for (std::size_t i = 0; i < src.views_.size(); ++i) remap[i] = intern(src.views_[i]);
+  for (std::size_t i = 0; i < src.views_.size(); ++i) {
+    remap[i] = intern_hashed(src.views_[i], src.hashes_[i]);
+  }
   return remap;
 }
 

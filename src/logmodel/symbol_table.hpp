@@ -17,7 +17,6 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "util/serialize.hpp"
@@ -81,13 +80,29 @@ class SymbolTable {
  private:
   const char* arena_store(std::string_view text);
 
+  /// 8-bytes-at-a-time xor-multiply hash.  intern() is called once per
+  /// record on the ingest hot path, so the hash must not walk the string
+  /// byte by byte the way std::hash does.
+  [[nodiscard]] static std::uint64_t hash_bytes(std::string_view text) noexcept;
+
+  /// Probe/insert with a precomputed hash — lets absorb() and the copy
+  /// constructor reuse the hashes the source table already paid for.
+  Symbol intern_hashed(std::string_view text, std::uint64_t hash);
+
+  void grow_slots();
+
   static constexpr std::size_t kBlockBytes = 64 * 1024;
 
   std::vector<std::unique_ptr<char[]>> blocks_;
   std::size_t block_used_ = 0;   ///< bytes used in blocks_.back()
   std::size_t payload_bytes_ = 0;
   std::vector<std::string_view> views_;  ///< id -> stable view
-  std::unordered_map<std::string_view, std::uint32_t> ids_;
+  std::vector<std::uint64_t> hashes_;    ///< id -> hash_bytes(view)
+  /// Open-addressing id index: power-of-two linear-probe table holding
+  /// id + 1 (0 marks an empty slot).  Flat arrays beat the node-based
+  /// unordered_map here: no per-string node allocation and no bucket
+  /// pointer chase on the per-record lookup.
+  std::vector<std::uint32_t> slots_;
 };
 
 }  // namespace hpcfail::logmodel

@@ -15,6 +15,7 @@
 #include "util/chunked_reader.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
+#include "util/scan.hpp"
 #include "util/strings.hpp"
 #include "util/time.hpp"
 #include "util/trace.hpp"
@@ -177,10 +178,14 @@ void ingest_parallel_source(std::istream& in, LineParseFn parse, const ParseCont
             ChunkResult r;
             ParseContext local = ctx;
             local.symbols = &r.symbols;  // intern straight from the chunk buffer
-            const auto lines = util::split_lines(text);
-            r.lines = lines.size();
-            r.records.reserve(lines.size());
-            for (const auto line : lines) {
+            // Zero-allocation line walk: the cursor hands out views into the
+            // chunk buffer one at a time, so the per-chunk vector of line
+            // views (and its resize churn) is gone from the hot loop.
+            r.records.reserve(util::scan::count_byte(text, '\n') + 1);
+            util::scan::LineCursor cursor(text);
+            std::string_view line;
+            while (cursor.next(line)) {
+              ++r.lines;
               if (auto rec = parse(line, local)) {
                 r.records.push_back(*rec);
               } else {
@@ -218,22 +223,31 @@ void ingest_scheduler_source(std::istream& in, const ParseContext& ctx,
   std::size_t parsed_here = 0;
   std::size_t skipped_here = 0;
   std::string chunk;
+  // Records collect into a chunk-local batch and retire through one
+  // append_batch per chunk: symbols already live in the builder's table, so
+  // no remap is needed, and the builder skips per-record shard checks.
+  std::vector<logmodel::LogRecord> batch;
   while (reader.next(chunk)) {
     util::TraceSpan span("hpcfail.ingest.parse_chunk");
     if (m.on()) {
       m.bytes_read->add(chunk.size());
       m.chunks->increment();
     }
-    for (const auto line : util::split_lines(chunk)) {
+    util::scan::LineCursor cursor(chunk);
+    std::string_view line;
+    batch.clear();
+    while (cursor.next(line)) {
       ++total_lines;
       if (auto rec = sched.parse_line(line)) {
-        builder.append(*rec);
+        batch.push_back(*rec);
         ++parsed_here;
       } else {
         ++skipped;
         ++skipped_here;
       }
     }
+    builder.append_batch(std::move(batch));
+    batch = {};
   }
   if (m.on()) {
     m.records_parsed->add(parsed_here);

@@ -3,6 +3,11 @@
 // Hand-rolled substring matching over std::string_view (no std::regex): the
 // signature set is small and fixed, and substring scans are an order of
 // magnitude faster — the ablation in bench/perf_pipeline measures the gap.
+// Since the SWAR/SIMD rework the whole signature cascade runs as ONE
+// rare-byte-keyed pass over the payload (util::scan::SignatureSet) instead
+// of one contains() scan per signature; the *_ref variants below resolve
+// the same cascade through the retained scalar matcher and exist solely so
+// tests can assert byte-identical classification.
 // Matching order matters where signatures overlap (LBUG before LustreError,
 // processor-context-corrupt before generic MCE); keep this file and
 // loggen/renderer.cpp in sync.
@@ -32,6 +37,16 @@ struct Classified {
 
 /// Classifies a controller payload (SEDC warnings, cabinet faults).
 [[nodiscard]] std::optional<Classified> classify_controller_payload(
+    std::string_view payload) noexcept;
+
+/// Scalar-reference twins of the classifiers above: same cascade, matched
+/// with one find() per signature instead of the single-pass scanner.  For
+/// differential tests only — never on the hot path.
+[[nodiscard]] std::optional<Classified> classify_kernel_payload_ref(
+    std::string_view payload) noexcept;
+[[nodiscard]] std::optional<Classified> classify_nhc_payload_ref(
+    std::string_view payload) noexcept;
+[[nodiscard]] std::optional<Classified> classify_controller_payload_ref(
     std::string_view payload) noexcept;
 
 /// Maps an ERD event name (ec_*) to its event type.

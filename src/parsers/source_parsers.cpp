@@ -5,6 +5,7 @@
 #include "loggen/nid_ranges.hpp"
 #include "parsers/line_classifier.hpp"
 #include "platform/cname.hpp"
+#include "util/scan.hpp"
 #include "util/strings.hpp"
 
 namespace hpcfail::parsers {
@@ -19,8 +20,8 @@ namespace {
 /// Consumes the first whitespace-separated token.
 std::string_view take_token(std::string_view& rest) noexcept {
   rest = util::trim(rest);
-  std::size_t end = 0;
-  while (end < rest.size() && rest[end] != ' ') ++end;
+  std::size_t end = util::scan::find_byte(rest, ' ');
+  if (end == util::scan::npos) end = rest.size();
   const std::string_view token = rest.substr(0, end);
   rest = end < rest.size() ? rest.substr(end + 1) : std::string_view{};
   return token;
@@ -330,12 +331,12 @@ std::optional<LogRecord> SchedulerLogParser::register_allocation(std::string_vie
   std::size_t pos = 0;
   while (pos < payload.size()) {
     while (pos < payload.size() && payload[pos] == ' ') ++pos;
-    std::size_t end = payload.find(' ', pos);
-    if (end == std::string_view::npos) end = payload.size();
+    std::size_t end = util::scan::find_byte(payload, ' ', pos);
+    if (end == util::scan::npos) end = payload.size();
     const std::string_view token = payload.substr(pos, end - pos);
     pos = end + 1;
-    const std::size_t eq = token.find('=');
-    if (eq == std::string_view::npos) continue;
+    const std::size_t eq = util::scan::find_byte(token, '=');
+    if (eq == util::scan::npos) continue;
     const std::string_view key = token.substr(0, eq);
     const std::string_view value = token.substr(eq + 1);
     if (key == "NodeList") {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/fault.hpp"
+#include "util/scan.hpp"
 
 namespace hpcfail::util {
 
@@ -17,7 +18,15 @@ bool ChunkedLineReader::next(std::string& chunk) {
   // Grow until the chunk holds at least one complete line and is at least
   // chunk_bytes_ long (or the stream ends).  Reading never splits a line:
   // everything after the last '\n' is carried into the next call.
-  while (!eof_ && (chunk.size() < chunk_bytes_ || chunk.find('\n') == std::string::npos)) {
+  //
+  // `scanned` marks how far the newline search has already looked, so each
+  // loop iteration only scans the bytes the read just appended.  (The carry
+  // never contains a '\n' by construction, so starting past it is safe.)
+  // Rescanning from offset 0 every iteration — the old behaviour — made a
+  // single line of L bytes cost O(L²/chunk_bytes) comparisons.
+  std::size_t scanned = 0;
+  bool has_newline = false;
+  while (!eof_ && (chunk.size() < chunk_bytes_ || !has_newline)) {
     const std::size_t old_size = chunk.size();
     chunk.resize(old_size + chunk_bytes_);
     if (HPCFAIL_FAULT_SITE("ingest.read.badbit")) in_.setstate(std::ios::badbit);
@@ -40,6 +49,10 @@ bool ChunkedLineReader::next(std::string& chunk) {
       chunk.resize(old_size + got);
     }
     if (got < chunk_bytes_) eof_ = true;
+    if (!has_newline) {
+      has_newline = scan::find_byte(chunk, '\n', scanned) != scan::npos;
+      scanned = chunk.size();
+    }
   }
 
   if (HPCFAIL_FAULT_SITE("ingest.read.torn_chunk")) {
@@ -54,7 +67,7 @@ bool ChunkedLineReader::next(std::string& chunk) {
   }
   if (HPCFAIL_FAULT_SITE("ingest.read.midline_eof")) {
     // Cut the stream in the middle of the chunk's final line.
-    const std::size_t last_nl = chunk.rfind('\n');
+    const std::size_t last_nl = scan::rfind_byte(chunk, '\n');
     if (last_nl != std::string::npos && last_nl + 2 < chunk.size()) {
       chunk.resize(last_nl + 1 + (chunk.size() - last_nl - 1) / 2);
     }
@@ -63,7 +76,7 @@ bool ChunkedLineReader::next(std::string& chunk) {
   }
 
   if (!eof_) {
-    const std::size_t last_nl = chunk.rfind('\n');
+    const std::size_t last_nl = scan::rfind_byte(chunk, '\n');
     // The loop above guarantees a '\n' exists when !eof_.
     carry_.assign(chunk, last_nl + 1, chunk.size() - last_nl - 1);
     chunk.resize(last_nl + 1);

@@ -1,14 +1,13 @@
 #include "util/strings.hpp"
 
-#include <cctype>
 #include <charconv>
+
+#include "util/scan.hpp"
 
 namespace hpcfail::util {
 
 namespace {
-constexpr bool is_ws(char c) noexcept {
-  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
-}
+inline bool is_ws(char c) noexcept { return scan::is_ws(c); }
 }  // namespace
 
 std::string_view trim(std::string_view s) noexcept {
@@ -32,18 +31,14 @@ std::vector<std::string_view> split(std::string_view s, char sep) {
 }
 
 std::vector<std::string_view> split_lines(std::string_view text) {
+  // Sizing the vector up front from a vectorized newline count keeps the
+  // loop free of reallocation; scan::LineCursor preserves the historical
+  // semantics (CRLF stripped, empty lines dropped, unterminated tail kept).
   std::vector<std::string_view> lines;
-  std::size_t start = 0;
-  while (start < text.size()) {
-    std::size_t end = text.find('\n', start);
-    if (end == std::string_view::npos) end = text.size();
-    std::size_t len = end - start;
-    // CRLF input: the '\r' is part of the terminator, not the payload —
-    // leaving it in makes every suffix-matching classifier silently fail.
-    if (len > 0 && text[start + len - 1] == '\r') --len;
-    if (len > 0) lines.push_back(text.substr(start, len));
-    start = end + 1;
-  }
+  lines.reserve(scan::count_byte(text, '\n') + 1);
+  scan::LineCursor cursor(text);
+  std::string_view line;
+  while (cursor.next(line)) lines.push_back(line);
   return lines;
 }
 
@@ -74,12 +69,20 @@ std::vector<std::string_view> split_n(std::string_view s, char sep, std::size_t 
 }
 
 std::string to_lower(std::string_view s) {
+  // Branchless ASCII transform: locale-independent by construction, so a
+  // host with e.g. a Turkish locale can't change how classifiers compare.
   std::string out(s);
-  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) c = scan::to_lower_ascii(c);
   return out;
 }
 
 std::optional<std::int64_t> parse_i64(std::string_view s) noexcept {
+  // Fast path: a bare run of <= 18 digits cannot overflow int64 and needs
+  // no trim (digits are not whitespace); everything else — signs, spaces,
+  // 19+ digits — takes the from_chars path that defines the semantics.
+  if (std::uint64_t fast = 0; s.size() <= 18 && scan::parse_u64_digits(s, fast)) {
+    return static_cast<std::int64_t>(fast);
+  }
   s = trim(s);
   std::int64_t value = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
@@ -88,6 +91,7 @@ std::optional<std::int64_t> parse_i64(std::string_view s) noexcept {
 }
 
 std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept {
+  if (std::uint64_t fast = 0; scan::parse_u64_digits(s, fast)) return fast;
   s = trim(s);
   std::uint64_t value = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);

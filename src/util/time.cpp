@@ -3,6 +3,9 @@
 #include <array>
 #include <charconv>
 #include <cstdio>
+#include <cstring>
+
+#include "util/scan.hpp"
 
 namespace hpcfail::util {
 
@@ -14,6 +17,16 @@ constexpr std::array<std::string_view, 12> kMonthNames = {
 
 bool parse_int_field(std::string_view s, std::size_t pos, std::size_t len, int& out) noexcept {
   if (pos + len > s.size()) return false;
+  // The fixed timestamp formats only ever ask for 1-, 2- or 4-digit
+  // fields; the two wide cases go through the branchless SWAR parsers.
+  switch (len) {
+    case 2:
+      return scan::parse_digits2(s.data() + pos, out);
+    case 4:
+      return scan::parse_digits4(s.data() + pos, out);
+    default:
+      break;
+  }
   int value = 0;
   for (std::size_t i = 0; i < len; ++i) {
     const char c = s[pos + i];
@@ -22,6 +35,25 @@ bool parse_int_field(std::string_view s, std::size_t pos, std::size_t len, int& 
   }
   out = value;
   return true;
+}
+
+/// Month token plus its mandatory trailing space ("Mar ") as one 32-bit
+/// compare instead of twelve 3-byte string compares.
+int parse_month_sp(const char* p) noexcept {
+  std::uint32_t key;
+  std::memcpy(&key, p, 4);
+  static const std::array<std::uint32_t, 12> kMonthKeys = [] {
+    std::array<std::uint32_t, 12> keys{};
+    for (std::size_t i = 0; i < 12; ++i) {
+      const char buf[4] = {kMonthNames[i][0], kMonthNames[i][1], kMonthNames[i][2], ' '};
+      std::memcpy(&keys[i], buf, 4);
+    }
+    return keys;
+  }();
+  for (std::size_t i = 0; i < 12; ++i) {
+    if (key == kMonthKeys[i]) return static_cast<int>(i) + 1;
+  }
+  return 0;
 }
 
 bool valid_civil(int mo, int d, int h, int mi, int sec) noexcept {
@@ -149,15 +181,8 @@ std::optional<TimePoint> parse_sql(std::string_view s) noexcept {
 std::optional<TimePoint> parse_syslog(std::string_view s, int year) noexcept {
   // "Mar  2 14:05:01" or "Mar 12 14:05:01"
   if (s.size() < 15) return std::nullopt;
-  const std::string_view mon = s.substr(0, 3);
-  int month = 0;
-  for (std::size_t i = 0; i < kMonthNames.size(); ++i) {
-    if (kMonthNames[i] == mon) {
-      month = static_cast<int>(i) + 1;
-      break;
-    }
-  }
-  if (month == 0 || s[3] != ' ') return std::nullopt;
+  const int month = parse_month_sp(s.data());  // covers the s[3] == ' ' check
+  if (month == 0) return std::nullopt;
   int day = 0;
   if (s[4] == ' ') {
     if (!parse_int_field(s, 5, 1, day)) return std::nullopt;

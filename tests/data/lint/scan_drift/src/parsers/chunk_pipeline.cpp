@@ -1,0 +1,26 @@
+// Drifted hot-path file: reintroduces the raw scans the scan layer removed.
+#include <string>
+#include <vector>
+
+namespace hpcfail::parsers {
+
+std::size_t next_line(const std::string& chunk, std::size_t from) {
+  return chunk.find('\n', from);
+}
+
+std::size_t count_lines(const std::string& chunk) {
+  const auto lines = split_lines(chunk);
+  return lines.size();
+}
+
+std::size_t last_line(const std::string& chunk) {
+  // hpcfail-lint: allow(hot-path-scan)
+  return chunk.rfind('\n');
+}
+
+std::size_t tolerated(const std::string& chunk) {
+  // hpcfail-lint: allow(hot-path-scan) -- cold error-reporting path, runs once per malformed file
+  return chunk.find('\n');
+}
+
+}  // namespace hpcfail::parsers

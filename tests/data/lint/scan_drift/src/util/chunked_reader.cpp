@@ -1,0 +1,8 @@
+// Drifted chunked reader: scans the carry seam byte-at-a-time.
+#include <string>
+
+namespace hpcfail::util {
+
+std::size_t seam(const std::string& carry) { return carry.rfind('\n'); }
+
+}  // namespace hpcfail::util

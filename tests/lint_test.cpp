@@ -302,6 +302,28 @@ TEST(LintRawSync, BareConcurrencyAndOwnershipPrimitivesAreDiagnosedExactly) {
             }));
 }
 
+TEST(LintHotPathScan, RawNewlineScansAndLineVectorsAreDiagnosedExactly) {
+  const Report report = run_checks(fixture("scan_drift"), {"hot-path-scan"});
+  EXPECT_EQ(rendered(report),
+            (std::vector<std::string>{
+                "src/parsers/chunk_pipeline.cpp:8: error: [hot-path-scan] raw "
+                "newline scan on the ingest hot path; use util::scan::find_byte/"
+                "rfind_byte (SWAR/SIMD dispatched) or util::scan::LineCursor",
+                "src/parsers/chunk_pipeline.cpp:12: error: [hot-path-scan] "
+                "split_lines allocates a per-line vector on the ingest hot path; "
+                "iterate with util::scan::LineCursor (zero allocation)",
+                "src/parsers/chunk_pipeline.cpp:18: error: [hot-path-scan] raw "
+                "newline scan on the ingest hot path; use util::scan::find_byte/"
+                "rfind_byte (SWAR/SIMD dispatched) or util::scan::LineCursor",
+                "src/parsers/chunk_pipeline.cpp:17: error: [hot-path-scan] "
+                "allow(hot-path-scan) suppression is missing its reason; write: "
+                "// hpcfail-lint: allow(hot-path-scan) -- <why this is safe>",
+                "src/util/chunked_reader.cpp:6: error: [hot-path-scan] raw "
+                "newline scan on the ingest hot path; use util::scan::find_byte/"
+                "rfind_byte (SWAR/SIMD dispatched) or util::scan::LineCursor",
+            }));
+}
+
 // A reasoned allow suppresses exactly its finding: the tolerated() cases in
 // every drift fixture carry `allow(<check>) -- <reason>` and none of the
 // pinned diagnostics above mention their lines.  This locks the other half
@@ -313,6 +335,7 @@ TEST(LintSuppressions, ReasonlessAllowNeverSuppresses) {
       {"view_drift", "dangling-view"},
       {"finalize_drift", "finalize-protocol"},
       {"rawsync_drift", "raw-sync"},
+      {"scan_drift", "hot-path-scan"},
   };
   for (const auto& [name, check] : cases) {
     SCOPED_TRACE(name);
@@ -431,7 +454,7 @@ TEST(LintClean, ConsistentFixtureTreePasses) {
       {"erd-table", "event-names", "corpus-files", "snapshot-version",
        "banned-pattern", "header-hygiene", "bench-pipeline", "metric-naming",
        "fault-sites", "capture-lifetime", "dangling-view", "finalize-protocol",
-       "raw-sync", "serve-protocol"});
+       "raw-sync", "hot-path-scan", "serve-protocol"});
   EXPECT_TRUE(report.ok()) << (report.ok() ? std::string{}
                                            : rendered(report).front());
 }

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <set>
@@ -327,6 +328,24 @@ TEST(StringsTest, FindKv) {
   EXPECT_FALSE(find_kv("JobId=42", "Id").has_value());
 }
 
+TEST(StringsTest, ToLowerIsLocaleFreeAscii) {
+  EXPECT_EQ(to_lower("Machine Check EDAC"), "machine check edac");
+  EXPECT_EQ(to_lower("already lower 123 :/-"), "already lower 123 :/-");
+  // Non-ASCII bytes pass through untouched regardless of the global
+  // locale: 'İ' in Latin-1/UTF-8 must not be remapped the way a locale-
+  // aware tolower might.
+  std::string high;
+  for (int c = 128; c < 256; ++c) high += static_cast<char>(c);
+  EXPECT_EQ(to_lower(high), high);
+  // Full ASCII table: exactly 'A'..'Z' change, by +0x20.
+  for (int c = 0; c < 128; ++c) {
+    const std::string s(1, static_cast<char>(c));
+    const char want = (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 32)
+                                             : static_cast<char>(c);
+    EXPECT_EQ(to_lower(s), std::string(1, want)) << c;
+  }
+}
+
 TEST(StringsTest, ExtractBetween) {
   EXPECT_EQ(extract_between("a [b] c", "[", "]"), "b");
   EXPECT_FALSE(extract_between("a [b c", "[", "]").has_value());
@@ -405,6 +424,27 @@ TEST(ChunkedReaderTest, EmptyStreamYieldsNothing) {
   EXPECT_FALSE(reader.next(chunk));
   EXPECT_FALSE(reader.next(chunk));  // stays done
   EXPECT_EQ(reader.bytes_read(), 0u);
+}
+
+TEST(ChunkedReaderTest, SingleMultiMegabyteLineRefillsInLinearTime) {
+  // Regression: the refill loop used to rescan the whole chunk from offset
+  // 0 on every iteration looking for a '\n', so one line of L bytes read in
+  // C-byte chunks cost O(L²/C).  With L = 8 MB and C = 1 KB that is ~32 GB
+  // of rescanning — minutes, not milliseconds.  The refill now remembers
+  // how far it has scanned, so this completes quickly; the generous bound
+  // only trips if the quadratic rescan comes back.
+  const std::string longline(8u << 20, 'x');
+  std::istringstream in(longline + "\n");
+  ChunkedLineReader reader(in, 1024);
+  const auto start = std::chrono::steady_clock::now();
+  std::string chunk;
+  ASSERT_TRUE(reader.next(chunk));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(chunk.size(), longline.size() + 1);
+  EXPECT_EQ(chunk.back(), '\n');
+  EXPECT_EQ(chunk.compare(0, longline.size(), longline), 0);
+  EXPECT_FALSE(reader.next(chunk));
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(), 10);
 }
 
 TEST(ChunkedReaderTest, LineLongerThanChunkGrowsTheChunk) {

@@ -111,6 +111,26 @@ std::vector<TableEntry> scan(const SourceFile& f, const LineRange& range,
 
 LineRange whole_file(const SourceFile& f) { return LineRange{1, f.lines.size()}; }
 
+/// The Classified{EventType::X} rule constructions reachable from
+/// `classify_fn`.  The single-pass SignatureSet classifier keeps the public
+/// classify_* function as a thin wrapper and builds every Classified inside
+/// a resolve_* helper, so when the wrapper body holds no rules the scan
+/// follows the resolver body instead (cascade-style trees keep everything
+/// in the wrapper and never reach the fallback).
+std::vector<TableEntry> classified_rules(const SourceFile& classifier,
+                                         std::string_view classify_fn,
+                                         std::string_view resolve_fn) {
+  static const std::regex classified_re(R"(Classified\{EventType::(\w+))");
+  if (const auto body = body_of(classifier, classify_fn)) {
+    auto rules = scan(classifier, *body, classified_re);
+    if (!rules.empty()) return rules;
+  }
+  if (const auto body = body_of(classifier, resolve_fn)) {
+    return scan(classifier, *body, classified_re);
+  }
+  return {};
+}
+
 // Repo-relative paths of the cross-checked tables.  Fixture trees used by
 // the lint's own tests mirror this layout.
 constexpr const char* kRendererCpp = "src/loggen/renderer.cpp";
@@ -276,7 +296,8 @@ namespace {
 
 void coverage_pair(const SourceFile& renderer, std::string_view render_fn,
                    const SourceFile& classifier, std::string_view classify_fn,
-                   const std::string& check, Report& report) {
+                   std::string_view resolve_fn, const std::string& check,
+                   Report& report) {
   const auto rbody = body_of(renderer, render_fn);
   const auto cbody = body_of(classifier, classify_fn);
   if (!rbody) {
@@ -290,9 +311,8 @@ void coverage_pair(const SourceFile& renderer, std::string_view render_fn,
   if (!rbody || !cbody) return;
 
   static const std::regex case_re(R"(case\s+EventType::(\w+)\s*:)");
-  static const std::regex classified_re(R"(Classified\{EventType::(\w+))");
   const auto rendered = scan(renderer, *rbody, case_re);
-  const auto classified = scan(classifier, *cbody, classified_re);
+  const auto classified = classified_rules(classifier, classify_fn, resolve_fn);
 
   std::set<std::string> classified_set;
   for (const auto& e : classified) classified_set.insert(e.key);
@@ -326,9 +346,9 @@ void check_payload_coverage(SourceTree& tree, Report& report) {
   if (renderer == nullptr || classifier == nullptr) return;
 
   coverage_pair(*renderer, "internal_payload(", *classifier, "classify_kernel_payload(",
-                check, report);
+                "resolve_kernel(", check, report);
   coverage_pair(*renderer, "controller_payload(", *classifier,
-                "classify_controller_payload(", check, report);
+                "classify_controller_payload(", "resolve_controller(", check, report);
 }
 
 // ---------------------------------------------------------------------------
@@ -360,8 +380,8 @@ void check_formats_doc(SourceTree& tree, Report& report) {
     for (const auto& e : rendered) rendered_set.insert(e.key);
   }
   if (kbody) {
-    static const std::regex classified_re(R"(Classified\{EventType::(\w+))");
-    for (const auto& e : scan(*classifier, *kbody, classified_re)) {
+    for (const auto& e :
+         classified_rules(*classifier, "classify_kernel_payload(", "resolve_kernel(")) {
       classified_set.insert(e.key);
     }
   }
@@ -580,6 +600,52 @@ void check_serve_protocol(SourceTree& tree, Report& report) {
               "(serve verb)", report);
   cross_check(documented, kFormatsMd, code, kServeProtocolCpp, check,
               "(documented verb)", report);
+}
+
+// ---------------------------------------------------------------------------
+// Check: hot-path-scan
+// ---------------------------------------------------------------------------
+
+void check_hot_path_scan(SourceTree& tree, Report& report) {
+  const std::string check = "hot-path-scan";
+  // The streaming ingest earns its MB/s from the util::scan kernels; these
+  // two idioms are exactly what the SWAR/SIMD rewrite removed from the hot
+  // path, and both creep back easily because they are the "natural" C++.
+  static const std::regex raw_find(R"(\.\s*r?find(_first_of|_last_of)?\s*\(\s*(['"])\\n)");
+  static const std::regex split_call(R"(\bsplit_lines\s*\()");
+
+  std::vector<std::string> files;
+  if (tree.exists("src/parsers")) {
+    const auto& under = tree.files_under("src/parsers");
+    files.insert(files.end(), under.begin(), under.end());
+  } else {
+    report.add("src/parsers", 0, check, "no src/parsers directory under repo root");
+  }
+  // The chunked reader is the one util file on the per-byte path; util/scan
+  // itself is exempt by construction (it IS the sanctioned implementation).
+  if (tree.exists("src/util/chunked_reader.cpp")) {
+    files.push_back("src/util/chunked_reader.cpp");
+  }
+
+  for (const auto& rel : files) {
+    const auto* file = load(tree, rel, check, report);
+    if (file == nullptr) continue;
+    for (std::size_t n = 1; n <= file->lines.size(); ++n) {
+      const std::string& text = file->lines[n - 1];
+      if (std::regex_search(text, raw_find)) {
+        emit(*file, n, check,
+             "raw newline scan on the ingest hot path; use util::scan::find_byte/"
+             "rfind_byte (SWAR/SIMD dispatched) or util::scan::LineCursor",
+             report);
+      }
+      if (std::regex_search(text, split_call)) {
+        emit(*file, n, check,
+             "split_lines allocates a per-line vector on the ingest hot path; "
+             "iterate with util::scan::LineCursor (zero allocation)",
+             report);
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -939,6 +1005,10 @@ const std::vector<CheckDef>& registry() {
         "No bare std::thread/detach()/raw new/const_cast outside src/util; "
         "concurrency goes through util::ThreadPool"},
        &check_raw_sync},
+      {{"hot-path-scan", Severity::Error,
+        "Ingest hot-path files scan bytes through util::scan, never raw "
+        "find('\\n') or per-chunk split_lines vectors"},
+       &check_hot_path_scan},
       {{"serve-protocol", Severity::Error,
         "The serve verb table (kVerbs) and the FORMATS.md serve protocol "
         "section must agree verb-for-verb, summary-for-summary"},

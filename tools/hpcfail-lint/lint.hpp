@@ -133,7 +133,7 @@ void check_fault_sites(SourceTree& tree, Report& report);
 // ---------------------------------------------------------------------------
 // Semantic checks (token level, cxx_model.hpp)
 //
-// All four honor `// hpcfail-lint: allow(<check>) -- <reason>` on the
+// All the checks below honor `// hpcfail-lint: allow(<check>) -- <reason>` on the
 // diagnosed line or the line above; the reason is mandatory (a reasonless
 // allow leaves the finding standing and is itself diagnosed).
 // ---------------------------------------------------------------------------
@@ -164,6 +164,16 @@ void check_finalize_protocol(SourceTree& tree, Report& report);
 /// else (src/, bench/, examples/, tools/) — all concurrency goes through
 /// the instrumented util::ThreadPool.
 void check_raw_sync(SourceTree& tree, Report& report);
+
+/// The ingest hot path (src/parsers/ and src/util/chunked_reader.cpp) must
+/// scan bytes through util::scan — a raw std::string find('\n')/rfind('\n')
+/// or a split_lines() call there silently reintroduces the byte-at-a-time
+/// scanning and per-chunk line-vector allocation the SWAR/SIMD scan layer
+/// removed.  Honors `// hpcfail-lint: allow(hot-path-scan) -- <reason>` for
+/// the cold paths that legitimately keep the simpler idiom (e.g. the
+/// in-memory corpus parser, which needs random access to line indices for
+/// sharding).
+void check_hot_path_scan(SourceTree& tree, Report& report);
 
 /// The daemon's wire verbs (kVerbs in src/serve/protocol.cpp) and the
 /// FORMATS.md "serve protocol" table must agree in both directions — same
